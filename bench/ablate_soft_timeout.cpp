@@ -1,0 +1,79 @@
+// Ablation: the soft timeout (DESIGN.md decision 2).
+//
+// Two questions, two tables:
+//
+//  A) What does the soft timeout *cost* in the fault-free case? A zero
+//     timeout makes every node broadcast every request immediately —
+//     re-creating the baseline's redundancy that the filtering was meant
+//     to remove. Any timeout beyond the primary's preprepare round trip
+//     (~1 ms here) stays silent thanks to the preprepare-cancellation
+//     optimization; the paper's 250 ms has ample margin.
+//
+//  B) What does the soft timeout *buy* under a primary that delays
+//     preprepares beyond the hard timeout (600 ms)? The broadcast arms
+//     hard timers on all nodes (Alg. 1 ln. 23/31), so the censoring-grade
+//     delay is detected and a view change restores normal latency. With
+//     the soft path disabled, hard timers are never armed: no suspicion,
+//     and every request permanently pays the delay.
+#include "bench_util.hpp"
+
+using namespace zc;
+using namespace zc::bench;
+
+namespace {
+
+void run_row(const char* label, Duration soft, Duration hard, Duration primary_delay) {
+    ScenarioConfig cfg = paper_config();
+    cfg.duration = seconds(45);
+    cfg.soft_timeout = soft;
+    cfg.hard_timeout = hard;
+    if (primary_delay > Duration::zero()) {
+        runtime::ByzantineBehavior byz;
+        byz.preprepare_delay = primary_delay;
+        cfg.byzantine[0] = byz;
+    }
+
+    runtime::Scenario s(cfg);
+    s.run();
+    runtime::ScenarioReport r = s.report();
+    std::uint64_t view_changes = 0;
+    for (const auto& n : r.nodes) view_changes = std::max(view_changes, n.view_changes);
+
+    // Latency observed by a backup that becomes primary after a VC.
+    const auto& series = s.node(1).latency_series().points();
+    metrics::Summary tail;
+    for (std::size_t i = series.size() > 50 ? series.size() - 50 : 0; i < series.size(); ++i) {
+        tail.add(series[i].value);
+    }
+
+    std::printf("%-22s | %10.2f | %12.2f | %12.3f | %8llu | %6llu\n", label,
+                r.latency_ms.empty() ? -1.0 : r.latency_ms.mean(),
+                tail.empty() ? -1.0 : tail.mean(), r.mean_egress_utilization * 100.0,
+                static_cast<unsigned long long>(r.suspects),
+                static_cast<unsigned long long>(view_changes));
+}
+
+}  // namespace
+
+int main() {
+    print_header("Ablation A: soft timeout cost in fault-free operation");
+    std::printf("%-22s | %10s | %12s | %12s | %8s | %6s\n", "soft timeout", "lat ms",
+                "tail lat ms", "net util %", "suspects", "VCs");
+    run_row("0 ms (broadcast all)", milliseconds(0), milliseconds(500), Duration::zero());
+    run_row("50 ms", milliseconds(50), milliseconds(450), Duration::zero());
+    run_row("250 ms (paper)", milliseconds(250), milliseconds(250), Duration::zero());
+    run_row("none", seconds(3600), milliseconds(250), Duration::zero());
+
+    print_header("Ablation B: value under a primary delaying preprepares by 600 ms");
+    std::printf("%-22s | %10s | %12s | %12s | %8s | %6s\n", "soft timeout", "lat ms",
+                "tail lat ms", "net util %", "suspects", "VCs");
+    run_row("250 ms (paper)", milliseconds(250), milliseconds(250), milliseconds(600));
+    run_row("none (no suspicion)", seconds(3600), milliseconds(250), milliseconds(600));
+
+    print_footnote(
+        "\nExpected: in A, eager broadcasting re-introduces the n-fold redundancy\n"
+        "(higher network + CPU) the communication layer exists to remove; in B,\n"
+        "only the soft->hard timer chain detects the stalling primary (suspects,\n"
+        "view change, low tail latency) — without it, the delay is permanent.");
+    return 0;
+}

@@ -1,0 +1,107 @@
+// Shared helpers for the paper-reproduction benchmark binaries: run a
+// Scenario for both systems, print paper-style rows next to the paper's
+// reference values, and expose simple table formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/scenario.hpp"
+
+namespace zc::bench {
+
+using runtime::Mode;
+using runtime::Scenario;
+using runtime::ScenarioConfig;
+using runtime::ScenarioReport;
+
+/// Condensed per-run measurements used by most tables.
+struct RunMeasurement {
+    double latency_mean_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    double net_util_pct = 0.0;       ///< mean egress utilization of the 100 Mbit/s links
+    double cpu_pct_total = 0.0;      ///< % of the device's 4-core budget (node 0)
+    double cpu_pct_400 = 0.0;        ///< paper's axis: 400 % = all cores busy
+    double mem_avg_mb = 0.0;
+    double mem_peak_mb = 0.0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t logged = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t rx_dropped = 0;
+    std::uint64_t rate_limited = 0;
+};
+
+inline RunMeasurement measure(ScenarioReport& report) {
+    RunMeasurement m;
+    if (!report.latency_ms.empty()) {
+        m.latency_mean_ms = report.latency_ms.mean();
+        m.latency_p99_ms = report.latency_ms.percentile(0.99);
+    }
+    m.net_util_pct = report.mean_egress_utilization * 100.0;
+    m.cpu_pct_total = report.nodes[0].cpu_pct_of_device;
+    m.cpu_pct_400 = report.nodes[0].cpu_cores * 100.0;
+    m.mem_avg_mb = report.nodes[0].mem_avg_mb;
+    m.mem_peak_mb = report.nodes[0].mem_peak_mb;
+    m.total_bytes = report.total_bytes;
+    m.logged = report.logged_unique;
+    m.blocks = report.blocks;
+    m.rate_limited = report.rate_limited;
+    for (const auto& node : report.nodes) m.rx_dropped += node.rx_dropped;
+    return m;
+}
+
+/// Runs one configuration and returns the condensed measurement.
+inline RunMeasurement run_once(ScenarioConfig cfg) {
+    Scenario scenario(std::move(cfg));
+    scenario.run();
+    ScenarioReport report = scenario.report();
+    return measure(report);
+}
+
+/// Averages `runs` seeded repetitions (the paper reports averages over
+/// five runs).
+inline RunMeasurement run_averaged(ScenarioConfig cfg, int runs = 3) {
+    RunMeasurement acc;
+    for (int i = 0; i < runs; ++i) {
+        cfg.seed = cfg.seed * 7919 + static_cast<std::uint64_t>(i) + 1;
+        const RunMeasurement m = run_once(cfg);
+        acc.latency_mean_ms += m.latency_mean_ms / runs;
+        acc.latency_p99_ms += m.latency_p99_ms / runs;
+        acc.net_util_pct += m.net_util_pct / runs;
+        acc.cpu_pct_total += m.cpu_pct_total / runs;
+        acc.cpu_pct_400 += m.cpu_pct_400 / runs;
+        acc.mem_avg_mb += m.mem_avg_mb / runs;
+        acc.mem_peak_mb += m.mem_peak_mb / runs;
+        acc.total_bytes += m.total_bytes / static_cast<std::uint64_t>(runs);
+        acc.logged += m.logged / static_cast<std::uint64_t>(runs);
+        acc.blocks += m.blocks / static_cast<std::uint64_t>(runs);
+        acc.rx_dropped += m.rx_dropped;
+        acc.rate_limited += m.rate_limited / static_cast<std::uint64_t>(runs);
+    }
+    return acc;
+}
+
+inline void print_header(const std::string& title) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+inline void print_footnote(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Default experiment base: the paper's testbed parameters.
+inline ScenarioConfig paper_config() {
+    ScenarioConfig cfg;
+    cfg.n = 4;
+    cfg.f = 1;
+    cfg.bus_cycle = milliseconds(64);
+    cfg.payload_size = 1024;
+    cfg.block_size = 10;
+    cfg.warmup = seconds(3);
+    cfg.duration = seconds(45);
+    cfg.default_tap_faults = {};
+    return cfg;
+}
+
+}  // namespace zc::bench

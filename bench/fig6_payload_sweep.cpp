@@ -1,0 +1,42 @@
+// Reproduces Fig. 6 (right): network utilization and latency vs payload
+// size (32 B .. 8 kB) at the common 64 ms bus cycle. Paper reference:
+// ZugChain's latency grows ~37 % from smallest to largest payload; the
+// baseline stays 1.6-2.5x ZugChain's; network utilization again ~4x.
+#include "bench_util.hpp"
+
+using namespace zc;
+using namespace zc::bench;
+
+int main() {
+    print_header("Fig. 6 (right): network utilization & latency vs payload (64 ms cycle)");
+    std::printf("%8s | %12s %12s %8s | %12s %12s %8s | %16s\n", "payload", "ZC lat ms",
+                "BL lat ms", "lat x", "ZC net %", "BL net %", "net x", "paper lat x");
+
+    const std::size_t payloads[] = {32, 256, 1024, 4096, 8192};
+    double zc_first = 0, zc_last = 0;
+
+    for (const std::size_t payload : payloads) {
+        ScenarioConfig cfg = paper_config();
+        cfg.payload_size = payload;
+
+        cfg.mode = Mode::kZugChain;
+        const RunMeasurement zc_m = run_averaged(cfg);
+
+        cfg.mode = Mode::kBaseline;
+        const RunMeasurement bl_m = run_averaged(cfg);
+
+        if (payload == payloads[0]) zc_first = zc_m.latency_mean_ms;
+        zc_last = zc_m.latency_mean_ms;
+
+        const double lat_x = zc_m.latency_mean_ms > 0 ? bl_m.latency_mean_ms / zc_m.latency_mean_ms : 0;
+        const double net_x = zc_m.net_util_pct > 0 ? bl_m.net_util_pct / zc_m.net_util_pct : 0;
+        std::printf("%6zu B | %12.2f %12.2f %7.1fx | %11.3f%% %11.3f%% %7.1fx | %16s\n",
+                    payload, zc_m.latency_mean_ms, bl_m.latency_mean_ms, lat_x,
+                    zc_m.net_util_pct, bl_m.net_util_pct, net_x, "1.6-2.5x");
+    }
+
+    std::printf(
+        "\nZugChain latency growth from 32 B to 8 kB: +%.0f%%  [paper: +37%%]\n",
+        (zc_last / zc_first - 1.0) * 100.0);
+    return 0;
+}

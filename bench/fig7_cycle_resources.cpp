@@ -1,0 +1,42 @@
+// Reproduces Fig. 7 (left): CPU and memory usage vs bus cycle at 1 kB
+// payloads. Paper reference shapes: ZugChain's CPU is 25-31 % of the
+// baseline's; baseline memory is 1.7-1.8x ZugChain's, spiking to ~6.3x at
+// the overloaded 32 ms cycle; ZugChain never exceeds 15 % of the device's
+// total (4-core) CPU budget.
+#include "bench_util.hpp"
+
+using namespace zc;
+using namespace zc::bench;
+
+int main() {
+    print_header("Fig. 7 (left): CPU & memory vs bus cycle (payload 1 kB)");
+    std::printf("%8s | %11s %11s %8s | %11s %11s %8s | %10s %9s\n", "cycle", "ZC cpu%",
+                "BL cpu%", "ZC/BL", "ZC mem MB", "BL mem MB", "mem x", "paper cpu", "paper mem");
+    std::printf("%8s | %11s %11s %8s | %11s %11s %8s | %10s %9s\n", "", "(of 400%)",
+                "(of 400%)", "", "(avg)", "(avg)", "", "ZC/BL", "x");
+
+    double worst_pct_total = 0.0;
+    for (const int cycle_ms : {32, 64, 128, 256}) {
+        ScenarioConfig cfg = paper_config();
+        cfg.bus_cycle = milliseconds(cycle_ms);
+
+        cfg.mode = Mode::kZugChain;
+        const RunMeasurement zc_m = run_averaged(cfg);
+
+        cfg.mode = Mode::kBaseline;
+        const RunMeasurement bl_m = run_averaged(cfg);
+
+        worst_pct_total = std::max(worst_pct_total, zc_m.cpu_pct_total);
+        const double cpu_ratio = bl_m.cpu_pct_400 > 0 ? zc_m.cpu_pct_400 / bl_m.cpu_pct_400 : 0;
+        const double mem_x = zc_m.mem_avg_mb > 0 ? bl_m.mem_avg_mb / zc_m.mem_avg_mb : 0;
+        std::printf("%6d ms | %10.1f%% %10.1f%% %7.0f%% | %11.1f %11.1f %7.2fx | %10s %9s\n",
+                    cycle_ms, zc_m.cpu_pct_400, bl_m.cpu_pct_400, cpu_ratio * 100.0,
+                    zc_m.mem_avg_mb, bl_m.mem_avg_mb, mem_x, "25-31%",
+                    cycle_ms == 32 ? "~6.3" : "1.7-1.8");
+    }
+
+    std::printf(
+        "\nZugChain max CPU usage: %.1f%% of the device's total CPU  [paper: <= 15%%]\n",
+        worst_pct_total);
+    return 0;
+}

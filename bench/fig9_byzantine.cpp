@@ -1,0 +1,90 @@
+// Reproduces Fig. 9: effect of Byzantine behaviour on ZugChain at the
+// 64 ms bus cycle.
+//
+//  (a) A faulty backup broadcasts a fabricated request in 25/75/100 % of
+//      bus cycles. Paper reference deltas vs normal operation:
+//      CPU +20/68/92 %, memory +0.7/1.6/294 %, latency +22/60/277 %.
+//      Rate limiting on open requests per node bounds the damage.
+//  (b) A faulty primary delays preprepares by 250 ms — soft timeouts fire
+//      (broadcast + forward), hard timeouts do not: latency rises while
+//      network utilization drops; no view change.
+//
+// An ablation row runs the 100 % flood with the rate limiter disabled.
+#include "bench_util.hpp"
+
+using namespace zc;
+using namespace zc::bench;
+
+namespace {
+
+RunMeasurement run_byz(double fabricate, Duration delay, bool limiter,
+                       std::uint32_t burst = 1) {
+    ScenarioConfig cfg = paper_config();
+    cfg.duration = seconds(45);
+    // The open-request limit is "calculated based on the bus frequency"
+    // (§III-C); a handful of cycles' worth. Disabled for the ablation.
+    cfg.max_open_per_origin = limiter ? 8 : (1u << 20);
+    if (fabricate > 0) {
+        runtime::ByzantineBehavior byz;
+        byz.fabricate_rate = fabricate;
+        byz.fabricate_burst = burst;
+        cfg.byzantine[3] = byz;  // a faulty backup
+    }
+    if (delay > Duration::zero()) {
+        runtime::ByzantineBehavior byz;
+        byz.preprepare_delay = delay;
+        cfg.byzantine[0] = byz;  // the (initial) primary
+    }
+    return run_averaged(cfg);
+}
+
+void print_row(const char* name, const RunMeasurement& m, const RunMeasurement& base,
+               const char* paper) {
+    const auto delta = [](double v, double b) { return b > 0 ? (v / b - 1.0) * 100.0 : 0.0; };
+    std::printf("%-22s | %7.1f%% %+6.0f%% | %7.1f %+6.1f%% | %8.2f %+6.0f%% | %8.3f%% %+6.0f%% | %s\n",
+                name, m.cpu_pct_400, delta(m.cpu_pct_400, base.cpu_pct_400), m.mem_avg_mb,
+                delta(m.mem_avg_mb, base.mem_avg_mb), m.latency_mean_ms,
+                delta(m.latency_mean_ms, base.latency_mean_ms), m.net_util_pct,
+                delta(m.net_util_pct, base.net_util_pct), paper);
+}
+
+}  // namespace
+
+int main() {
+    print_header("Fig. 9: Byzantine behaviour (64 ms cycle, 1 kB payloads)");
+    std::printf("%-22s | %15s | %15s | %16s | %16s | %s\n", "scenario", "cpu (of 400%)",
+                "mem MB (avg)", "latency ms", "net util", "paper delta (cpu/mem/lat)");
+
+    const RunMeasurement base = run_byz(0.0, Duration::zero(), true);
+    print_row("normal", base, base, "-");
+
+    print_row("fabricate 25%", run_byz(0.25, Duration::zero(), true), base,
+              "+20% / +0.7% / +22%");
+    print_row("fabricate 75%", run_byz(0.75, Duration::zero(), true), base,
+              "+68% / +1.6% / +60%");
+    print_row("fabricate 100%", run_byz(1.0, Duration::zero(), true), base,
+              "+92% / +294% / +277%");
+
+    // DoS-flood ablation: 4 fabricated requests per cycle.
+    const RunMeasurement flood_on = run_byz(1.0, Duration::zero(), true, 4);
+    const RunMeasurement flood_off = run_byz(1.0, Duration::zero(), false, 4);
+    print_row("flood x4, limiter on", flood_on, base, "(ablation: flood capped)");
+    print_row("flood x4, limiter OFF", flood_off, base, "(ablation: flood unbounded)");
+    std::printf("  flood ablation: limiter on  -> %llu floods shed, %llu real records logged\n",
+                static_cast<unsigned long long>(flood_on.rate_limited),
+                static_cast<unsigned long long>(flood_on.logged));
+    std::printf("  flood ablation: limiter off -> %llu floods shed, %llu records logged "
+                "(log starves)\n",
+                static_cast<unsigned long long>(flood_off.rate_limited),
+                static_cast<unsigned long long>(flood_off.logged));
+    print_row("primary delay 250ms", run_byz(0.0, milliseconds(250), true), base,
+              "latency up, network down");
+
+    print_footnote(
+        "\nWith rate limiting, fabricated floods stay within JRU performance bounds\n"
+        "while benign replicas can still propose delayed or uniquely received\n"
+        "messages; the delaying primary stalls ordering until soft timeouts make\n"
+        "other nodes broadcast + forward the requests (no view change: hard\n"
+        "timeouts never fire).");
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Byzantine drill: exercises ZugChain's fault handling end to end.
+//
+// One node floods fabricated requests while the primary turns malicious
+// (delaying, then duplicating proposals). The drill shows the defenses
+// from the paper working together: rate limiting, payload dedup with
+// duplicate detection on DECIDE, suspicion, and view change — while the
+// juridical log stays complete and consistent.
+#include <cstdio>
+
+#include "runtime/scenario.hpp"
+
+using namespace zc;
+
+int main() {
+    runtime::ScenarioConfig cfg;
+    cfg.payload_size = 512;
+    cfg.warmup = seconds(2);
+    cfg.duration = seconds(120);
+    cfg.seed = 99;
+
+    // Node 3: fabricates a request every other bus cycle.
+    runtime::ByzantineBehavior flooder;
+    flooder.fabricate_rate = 0.5;
+    cfg.byzantine[3] = flooder;
+
+    // Node 0 (initial primary): proposes payload duplicates.
+    runtime::ByzantineBehavior bad_primary;
+    bad_primary.duplicate_rate = 0.3;
+    cfg.byzantine[0] = bad_primary;
+
+    std::printf("Running with a request-fabricating backup (node 3) and a\n"
+                "duplicate-proposing primary (node 0)...\n");
+    runtime::Scenario scenario(cfg);
+    scenario.run();
+    const runtime::ScenarioReport report = scenario.report();
+
+    std::printf("\n--- what the honest nodes saw (node 1) ---\n");
+    const auto& layer_stats = *&scenario.node(1).layer()->stats();
+    const auto& replica_stats = scenario.node(1).replica().stats();
+    std::printf("payload duplicates detected on DECIDE : %llu\n",
+                static_cast<unsigned long long>(layer_stats.duplicates_decided));
+    std::printf("suspicions raised                     : %llu\n",
+                static_cast<unsigned long long>(layer_stats.suspects));
+    std::printf("view changes completed                : %llu (primary is now node %u)\n",
+                static_cast<unsigned long long>(replica_stats.new_views_installed),
+                scenario.node(1).replica().primary());
+    std::printf("flood requests shed by rate limiting  : %llu\n",
+                static_cast<unsigned long long>(layer_stats.rate_limited));
+
+    std::printf("\n--- the log survived ---\n");
+    std::printf("unique records logged : %llu\n",
+                static_cast<unsigned long long>(report.logged_unique));
+    std::printf("blocks                : %llu\n",
+                static_cast<unsigned long long>(report.blocks));
+
+    // All honest nodes agree bit-for-bit.
+    bool consistent = true;
+    const Height head = scenario.node(1).store().head_height();
+    for (std::size_t i = 2; i < 4; ++i) {
+        const Height common = std::min(head, scenario.node(i).store().head_height());
+        for (Height h = 0; h <= common; ++h) {
+            const auto* a = scenario.node(1).store().header(h);
+            const auto* b = scenario.node(i).store().header(h);
+            consistent &= (a != nullptr && b != nullptr && a->hash() == b->hash());
+        }
+    }
+    std::printf("chains consistent     : %s\n", consistent ? "yes" : "NO (bug)");
+
+    // The fabricated data is *in* the log, attributed to node 3 — exactly
+    // what investigators need to prove misbehaviour (paper §III-B).
+    std::uint64_t fabricated_logged = 0;
+    const auto& store = scenario.node(1).store();
+    for (Height h = store.base_height(); h <= store.head_height(); ++h) {
+        const chain::Block* block = store.get(h);
+        if (block == nullptr) continue;
+        for (const auto& req : block->requests) {
+            if (req.origin == 3 && !codec::try_decode<train::LogRecord>(req.payload)) {
+                ++fabricated_logged;
+            }
+        }
+    }
+    std::printf("fabricated entries attributed to node 3: %llu (evidence for analysis)\n",
+                static_cast<unsigned long long>(fabricated_logged));
+    return 0;
+}

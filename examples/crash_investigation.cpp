@@ -1,0 +1,105 @@
+// Crash investigation: the scenario the JRU exists for.
+//
+// A train operates normally until an emergency; shortly after, a crash
+// destroys three of the four ZugChain nodes. Investigators salvage the
+// single surviving device, verify the blockchain's integrity offline, and
+// reconstruct the chain of events — including detecting any post-hoc
+// tampering with the salvaged record.
+#include <cstdio>
+
+#include "runtime/scenario.hpp"
+
+using namespace zc;
+
+namespace {
+
+/// Offline analysis of a salvaged store: walk the chain, verify hashes,
+/// and extract juridically relevant events.
+void investigate(chain::BlockStore& salvaged) {
+    std::printf("\n--- offline investigation of the salvaged device ---\n");
+    const bool intact = salvaged.validate(salvaged.base_height(), salvaged.head_height());
+    std::printf("chain integrity: %s (heights %llu..%llu)\n", intact ? "VERIFIED" : "BROKEN",
+                static_cast<unsigned long long>(salvaged.base_height()),
+                static_cast<unsigned long long>(salvaged.head_height()));
+
+    std::uint64_t records = 0, emergency_events = 0, door_events = 0, atp_events = 0;
+    std::int64_t last_speed = -1, top_speed = 0;
+    for (Height h = salvaged.base_height(); h <= salvaged.head_height(); ++h) {
+        const chain::Block* block = salvaged.get(h);
+        if (block == nullptr) continue;
+        for (const chain::LoggedRequest& req : block->requests) {
+            const auto record = codec::try_decode<train::LogRecord>(req.payload);
+            if (!record) continue;  // fabricated/foreign payloads: flagged by origin
+            ++records;
+            for (const train::Signal& s : record->signals) {
+                switch (s.kind) {
+                    case train::SignalKind::kSpeed:
+                        last_speed = s.value;
+                        top_speed = std::max(top_speed, s.value);
+                        break;
+                    case train::SignalKind::kEmergencyBrake:
+                        emergency_events += s.value != 0;
+                        break;
+                    case train::SignalKind::kDoorState:
+                        door_events += s.value != 0;
+                        break;
+                    case train::SignalKind::kAtpIntervention:
+                        atp_events += s.value != 0;
+                        break;
+                    default:
+                        break;
+                }
+            }
+        }
+    }
+    std::printf("records recovered      : %llu\n", static_cast<unsigned long long>(records));
+    std::printf("top speed on record    : %.1f km/h\n", static_cast<double>(top_speed) / 100.0);
+    std::printf("last speed on record   : %.1f km/h\n", static_cast<double>(last_speed) / 100.0);
+    std::printf("emergency-brake events : %llu\n",
+                static_cast<unsigned long long>(emergency_events));
+    std::printf("ATP interventions      : %llu\n", static_cast<unsigned long long>(atp_events));
+    std::printf("door-release events    : %llu\n", static_cast<unsigned long long>(door_events));
+}
+
+}  // namespace
+
+int main() {
+    runtime::ScenarioConfig cfg;
+    cfg.payload_size = 512;
+    cfg.warmup = seconds(2);
+    cfg.duration = seconds(180);  // three minutes of operation
+    cfg.seed = 2026;
+    // The crash at t=150 s destroys nodes 0, 1 and 2.
+    cfg.crash_schedule = {{seconds(150), 0}, {seconds(150), 1}, {seconds(150), 2}};
+
+    std::printf("Simulating 3 minutes of operation; a crash at t=150 s destroys 3 of 4 "
+                "recorder nodes...\n");
+    runtime::Scenario scenario(cfg);
+    scenario.run();
+
+    // Node 3 is the sole survivor: its store is what gets salvaged.
+    investigate(scenario.node(3).store());
+
+    // Tamper detection: an attacker with physical access to the wreck
+    // rewrites one logged value. Verification must fail.
+    std::printf("\n--- tamper attempt on the salvaged record ---\n");
+    chain::BlockStore& store = scenario.node(3).store();
+    const Height victim = store.base_height() + (store.head_height() - store.base_height()) / 2;
+    const chain::Block* original = store.get(victim);
+    if (original != nullptr && !original->requests.empty()) {
+        // BlockStore exposes no mutation API (by design), so the attacker
+        // has to forge a replacement block; its payload root cannot match
+        // the header without re-mining the rest of the chain.
+        chain::Block forged = *original;
+        forged.requests[0].payload[0] ^= 0x01;  // "the train was slower, honest"
+        std::printf("forged block %llu payload_valid(): %s\n",
+                    static_cast<unsigned long long>(victim),
+                    forged.payload_valid() ? "true (BUG!)" : "false -> tampering detected");
+        std::printf("and any recomputed header would break the hash link to block %llu.\n",
+                    static_cast<unsigned long long>(victim + 1));
+    }
+
+    std::printf("\nEven with one surviving node, deletion or modification of logged\n"
+                "events cannot go undetected (paper requirement R3).\n");
+    return 0;
+}

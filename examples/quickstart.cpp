@@ -1,0 +1,71 @@
+// Quickstart: spin up a four-node ZugChain deployment on the simulated
+// train, let it record two minutes of operation, and inspect the
+// blockchain it produced.
+//
+//   $ ./quickstart
+//
+// This is the smallest end-to-end use of the public API: configure a
+// Scenario, run it, read the results.
+#include <cstdio>
+
+#include "common/hex.hpp"
+#include "runtime/scenario.hpp"
+
+using namespace zc;
+
+int main() {
+    // The paper's testbed: 4 nodes (f=1), a 64 ms MVB cycle, ~1 kB
+    // process-data telegrams, blocks of 10 requests.
+    runtime::ScenarioConfig cfg;
+    cfg.mode = runtime::Mode::kZugChain;
+    cfg.n = 4;
+    cfg.f = 1;
+    cfg.bus_cycle = milliseconds(64);
+    cfg.payload_size = 1024;
+    cfg.block_size = 10;
+    cfg.warmup = seconds(2);
+    cfg.duration = seconds(120);
+    cfg.seed = 42;
+
+    std::printf("Running a 4-node ZugChain for 2 minutes of train operation...\n");
+    runtime::Scenario scenario(cfg);
+    scenario.run();
+
+    runtime::ScenarioReport report = scenario.report();
+    std::printf("\n--- results ---\n");
+    std::printf("unique records logged : %llu\n",
+                static_cast<unsigned long long>(report.logged_unique));
+    std::printf("blocks on the chain   : %llu\n", static_cast<unsigned long long>(report.blocks));
+    std::printf("ordering latency      : mean %.2f ms, p99 %.2f ms (JRU budget: 500 ms)\n",
+                report.latency_ms.mean(), report.latency_ms.percentile(0.99));
+    std::printf("CPU usage (node 0)    : %.1f %% of the shared device (paper bound: 15 %%)\n",
+                report.nodes[0].cpu_pct_of_device);
+
+    // Every node holds the same tamper-evident chain; verify node 2's.
+    chain::BlockStore& store = scenario.node(2).store();
+    const bool valid = store.validate(store.base_height(), store.head_height());
+    std::printf("\nchain on node 2       : heights %llu..%llu, integrity %s\n",
+                static_cast<unsigned long long>(store.base_height()),
+                static_cast<unsigned long long>(store.head_height()),
+                valid ? "VERIFIED" : "BROKEN");
+    std::printf("head hash             : %s\n",
+                to_hex(crypto::view(store.head_hash())).c_str());
+
+    // Peek at the first few logged events of the latest block.
+    const chain::Block* head = store.get(store.head_height());
+    if (head != nullptr && !head->requests.empty()) {
+        const auto& req = head->requests.front();
+        const auto record = codec::try_decode<train::LogRecord>(req.payload);
+        if (record) {
+            std::printf("\nlatest block, first record: bus cycle %llu, %zu signals, "
+                        "received by node %u, seq %llu\n",
+                        static_cast<unsigned long long>(record->cycle),
+                        record->signals.size(), req.origin,
+                        static_cast<unsigned long long>(req.seq));
+        }
+    }
+
+    std::printf("\nAll four nodes agree on the log; any single surviving device can\n"
+                "prove (or disprove) the integrity of the recorded events.\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Baseline application stack: Replica -> BaselineApp -> ChainApp.
+// Unlike the ZugChain layer there is no payload dedup: every decided
+// request — including the up-to-n copies of identical bus data — is
+// written to the blockchain.
+#pragma once
+
+#include "baseline/client.hpp"
+#include "zugchain/chain_app.hpp"
+
+namespace zc::baseline {
+
+class BaselineApp final : public pbft::Application {
+public:
+    BaselineApp(zugchain::ChainApp& chain_app, BaselineClient& client)
+        : chain_(chain_app), client_(client) {}
+
+    void deliver(const pbft::Request& request, SeqNo seq) override {
+        if (!request.is_null()) {
+            chain_.log(request, request.origin, seq);
+            client_.on_decided(request);
+            logged_ += 1;
+        }
+    }
+
+    crypto::Digest state_digest(SeqNo seq) override { return chain_.state_digest(seq); }
+
+    void new_primary(View view, NodeId primary) override {
+        (void)view;
+        client_.on_new_primary(primary);
+    }
+
+    void sync_state(SeqNo seq, const crypto::Digest& state) override {
+        chain_.sync_state(seq, state);
+    }
+
+    std::uint64_t logged() const noexcept { return logged_; }
+
+private:
+    zugchain::ChainApp& chain_;
+    BaselineClient& client_;
+    std::uint64_t logged_ = 0;
+};
+
+}  // namespace zc::baseline

@@ -1,0 +1,73 @@
+#include "bus/bus.hpp"
+
+#include <stdexcept>
+
+namespace zc::bus {
+
+Bus::Bus(sim::Simulation& sim, Duration cycle_time, PayloadSource& source)
+    : sim_(sim), cycle_time_(cycle_time), source_(source), rng_(sim.rng().fork("bus")) {
+    if (cycle_time <= Duration::zero()) throw std::invalid_argument("cycle_time must be > 0");
+}
+
+std::size_t Bus::attach_tap(BusTap& tap, const TapFaults& faults) {
+    taps_.push_back(TapEntry{&tap, faults, {}});
+    return taps_.size() - 1;
+}
+
+void Bus::start() {
+    if (running_) return;
+    running_ = true;
+    sim_.schedule(Duration::zero(), [this] { run_cycle(); });
+}
+
+void Bus::run_cycle() {
+    if (!running_) return;
+
+    Telegram telegram;
+    telegram.cycle = cycle_++;
+    telegram.sent_at = sim_.now();
+    telegram.payload = source_.payload_for_cycle(telegram.cycle, telegram.sent_at);
+
+    for (TapEntry& entry : taps_) {
+        deliver(entry, telegram);
+    }
+
+    sim_.schedule(cycle_time_, [this] { run_cycle(); });
+}
+
+void Bus::deliver(TapEntry& entry, Telegram telegram) {
+    if (rng_.chance(entry.faults.drop)) {
+        entry.stats.dropped += 1;
+        return;
+    }
+    if (rng_.chance(entry.faults.corrupt)) {
+        // A bit flip somewhere in the payload: the tap reads a different
+        // value than its peers. All bus data is valid data to be logged.
+        if (!telegram.payload.empty()) {
+            const std::size_t idx = rng_.next_below(telegram.payload.size());
+            telegram.payload[idx] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+        }
+        entry.stats.corrupted += 1;
+    }
+    if (rng_.chance(entry.faults.diverge)) {
+        // The tap samples a slightly different reading (e.g. the value
+        // changed between polls): the trailing payload byte differs.
+        // Unlike `corrupt`, the frame still parses — it is a valid but
+        // diverging observation of the same cycle.
+        if (!telegram.payload.empty()) {
+            telegram.payload.back() ^=
+                static_cast<std::uint8_t>(1u + rng_.next_below(255));
+        }
+        entry.stats.diverged += 1;
+    }
+
+    const bool delayed = rng_.chance(entry.faults.delay);
+    if (delayed) entry.stats.delayed += 1;
+    const Duration when = delayed ? cycle_time_ : Duration::zero();
+
+    entry.stats.delivered += 1;
+    BusTap* tap = entry.tap;
+    sim_.schedule(when, [tap, t = std::move(telegram)] { tap->on_telegram(t); });
+}
+
+}  // namespace zc::bus

@@ -1,0 +1,110 @@
+// Time-triggered train bus simulator (MVB-like).
+//
+// Substitutes the paper's physical Multifunction Vehicle Bus: a bus master
+// polls the configured source device every cycle (32 ms minimum on a real
+// MVB) and the resulting process-data telegram is observed read-only by
+// every attached tap (one per ZugChain node), matching the paper's setup
+// where all nodes independently read the same signals.
+//
+// The failure modes the paper calls out for bus communication are
+// injectable per tap:
+//   * drop     — a tap misses a whole cycle ("a replica does not receive
+//                any signals in a cycle")
+//   * delay    — a cycle's signals are received during a later cycle
+//   * corrupt  — bit flips during transmission (per IEC studies [9])
+//   * diverge  — taps read differing input in the same cycle
+//
+// The bus is intentionally unauthenticated and unacknowledged; recovering
+// from these faults is the ZugChain communication layer's job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace zc::bus {
+
+/// One consolidated process-data telegram (all signals of one bus cycle).
+struct Telegram {
+    std::uint64_t cycle = 0;    ///< bus cycle counter set by the master
+    TimePoint sent_at{0};       ///< master poll instant
+    Bytes payload;              ///< raw signal data (parsed by the JRU transform)
+};
+
+/// Read-only bus observer; implemented by node runtimes.
+class BusTap {
+public:
+    virtual ~BusTap() = default;
+    virtual void on_telegram(const Telegram& telegram) = 0;
+};
+
+/// Per-tap fault injection probabilities (per cycle).
+struct TapFaults {
+    double drop = 0.0;
+    double delay = 0.0;
+    double corrupt = 0.0;
+    double diverge = 0.0;
+};
+
+/// Per-tap delivery counters for test assertions.
+struct TapStats {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t diverged = 0;
+};
+
+/// Produces the raw payload for each bus cycle; implemented by the train
+/// signal generator (src/train) or synthetic workloads in tests.
+class PayloadSource {
+public:
+    virtual ~PayloadSource() = default;
+    virtual Bytes payload_for_cycle(std::uint64_t cycle, TimePoint at) = 0;
+};
+
+class Bus {
+public:
+    /// IEC 61375-3-1 minimum basic period used by the paper's testbed.
+    static constexpr Duration kMinCycle = milliseconds(32);
+
+    Bus(sim::Simulation& sim, Duration cycle_time, PayloadSource& source);
+
+    /// Attaches a tap; returns its index. Taps must outlive the bus.
+    std::size_t attach_tap(BusTap& tap, const TapFaults& faults = {});
+
+    /// Starts the master's polling loop.
+    void start();
+
+    /// Stops after the current cycle.
+    void stop() noexcept { running_ = false; }
+
+    Duration cycle_time() const noexcept { return cycle_time_; }
+    std::uint64_t cycles_completed() const noexcept { return cycle_; }
+    const TapStats& tap_stats(std::size_t tap) const { return taps_.at(tap).stats; }
+
+private:
+    struct TapEntry {
+        BusTap* tap;
+        TapFaults faults;
+        TapStats stats;
+    };
+
+    void run_cycle();
+    void deliver(TapEntry& entry, Telegram telegram);
+
+    sim::Simulation& sim_;
+    Duration cycle_time_;
+    PayloadSource& source_;
+    Rng rng_;
+    std::vector<TapEntry> taps_;
+    std::uint64_t cycle_ = 0;
+    bool running_ = false;
+};
+
+}  // namespace zc::bus

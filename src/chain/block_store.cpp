@@ -1,0 +1,188 @@
+#include "chain/block_store.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace zc::chain {
+
+namespace {
+
+Bytes read_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path.string());
+    return Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::filesystem::path& path, BytesView data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + path.string());
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+}
+
+}  // namespace
+
+void PruneAnchor::encode(codec::Writer& w) const {
+    w.u64(base_height);
+    w.raw(base_hash);
+    w.bytes(evidence);
+}
+
+PruneAnchor PruneAnchor::decode(codec::Reader& r) {
+    PruneAnchor a;
+    a.base_height = r.u64();
+    a.base_hash = r.raw_array<32>();
+    a.evidence = r.bytes();
+    return a;
+}
+
+BlockStore::BlockStore(metrics::Gauge* gauge, std::optional<std::filesystem::path> dir)
+    : gauge_(gauge), dir_(std::move(dir)) {
+    if (dir_) std::filesystem::create_directories(*dir_);
+    Block genesis = make_genesis();
+    head_hash_ = genesis.hash();
+    head_height_ = 0;
+    base_height_ = 0;
+    account(static_cast<std::int64_t>(genesis.size_bytes()));
+    if (dir_) persist(genesis);
+    entries_.emplace(0, Entry{std::move(genesis), true});
+}
+
+BlockStore::BlockStore(LoadTag, metrics::Gauge* gauge, std::filesystem::path dir)
+    : gauge_(gauge), dir_(std::move(dir)) {}
+
+BlockStore BlockStore::load(const std::filesystem::path& dir, metrics::Gauge* gauge) {
+    if (!std::filesystem::exists(dir)) return BlockStore(gauge, dir);
+
+    BlockStore store(LoadTag{}, gauge, dir);
+
+    const auto anchor_path = dir / "anchor.bin";
+    if (std::filesystem::exists(anchor_path)) {
+        store.anchor_ = codec::decode_from_bytes<PruneAnchor>(read_file(anchor_path));
+    }
+
+    std::map<Height, Block> blocks;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        const auto name = entry.path().filename().string();
+        if (!name.starts_with("block_")) continue;
+        Block b = codec::decode_from_bytes<Block>(read_file(entry.path()));
+        blocks.emplace(b.header.height, std::move(b));
+    }
+    if (blocks.empty()) return BlockStore(gauge, dir);  // empty dir: fresh chain
+
+    store.base_height_ = blocks.begin()->first;
+    for (auto& [height, block] : blocks) {
+        store.account(static_cast<std::int64_t>(block.size_bytes()));
+        store.head_height_ = height;
+        store.head_hash_ = block.hash();
+        store.entries_.emplace(height, Entry{std::move(block), true});
+    }
+    return store;
+}
+
+void BlockStore::account(std::int64_t delta) {
+    stored_bytes_ = static_cast<std::size_t>(static_cast<std::int64_t>(stored_bytes_) + delta);
+    if (gauge_) gauge_->add(delta);
+}
+
+std::size_t BlockStore::body_bytes(const Block& block) noexcept {
+    std::size_t bytes = 0;
+    for (const LoggedRequest& req : block.requests) bytes += req.size_bytes();
+    return bytes;
+}
+
+std::filesystem::path BlockStore::block_path(Height height) const {
+    char name[32];
+    std::snprintf(name, sizeof name, "block_%012llu.bin",
+                  static_cast<unsigned long long>(height));
+    return *dir_ / name;
+}
+
+void BlockStore::persist(const Block& block) const {
+    write_file(block_path(block.header.height), codec::encode_to_bytes(block));
+}
+
+void BlockStore::append(Block block) {
+    if (block.header.height != head_height_ + 1)
+        throw std::invalid_argument("block height does not extend head");
+    if (block.header.parent_hash != head_hash_)
+        throw std::invalid_argument("block parent hash mismatch");
+    if (!block.payload_valid()) throw std::invalid_argument("block payload root mismatch");
+
+    head_height_ = block.header.height;
+    head_hash_ = block.hash();
+    account(static_cast<std::int64_t>(block.size_bytes()));
+    if (dir_) persist(block);
+    const Height h = block.header.height;
+    entries_.emplace(h, Entry{std::move(block), true});
+}
+
+const Block* BlockStore::get(Height height) const {
+    const auto it = entries_.find(height);
+    if (it == entries_.end() || !it->second.body_present) return nullptr;
+    return &it->second.block;
+}
+
+const BlockHeader* BlockStore::header(Height height) const {
+    const auto it = entries_.find(height);
+    return it == entries_.end() ? nullptr : &it->second.block.header;
+}
+
+void BlockStore::prune_to(Height base, Bytes evidence) {
+    if (base > head_height_) throw std::invalid_argument("prune base beyond head");
+    if (base < base_height_) return;  // already pruned further
+
+    const BlockHeader* base_header = header(base);
+    if (base_header == nullptr) throw std::invalid_argument("prune base unknown");
+
+    PruneAnchor anchor;
+    anchor.base_height = base;
+    anchor.base_hash = base_header->hash();
+    anchor.evidence = std::move(evidence);
+
+    for (auto it = entries_.begin(); it != entries_.end() && it->first < base;) {
+        std::size_t bytes = sizeof(BlockHeader);
+        if (it->second.body_present) bytes += body_bytes(it->second.block);
+        account(-static_cast<std::int64_t>(bytes));
+        if (dir_) std::filesystem::remove(block_path(it->first));
+        it = entries_.erase(it);
+    }
+    base_height_ = base;
+    anchor_ = std::move(anchor);
+    if (dir_) write_file(*dir_ / "anchor.bin", codec::encode_to_bytes(*anchor_));
+}
+
+void BlockStore::trim_bodies_to(Height height) {
+    for (auto& [h, entry] : entries_) {
+        if (h > height || !entry.body_present) continue;
+        account(-static_cast<std::int64_t>(body_bytes(entry.block)));
+        entry.block.requests.clear();
+        entry.body_present = false;
+    }
+}
+
+bool BlockStore::validate(Height from, Height to) const {
+    if (from > to || to > head_height_ || from < base_height_) return false;
+    const BlockHeader* prev = nullptr;
+    for (Height h = from; h <= to; ++h) {
+        const auto it = entries_.find(h);
+        if (it == entries_.end()) return false;
+        const Entry& entry = it->second;
+        if (prev != nullptr && entry.block.header.parent_hash != prev->hash()) return false;
+        if (entry.body_present && !entry.block.payload_valid()) return false;
+        prev = &entry.block.header;
+    }
+    return true;
+}
+
+std::vector<Block> BlockStore::range(Height from, Height to) const {
+    std::vector<Block> out;
+    for (Height h = from; h <= to; ++h) {
+        const Block* b = get(h);
+        if (b != nullptr) out.push_back(*b);
+    }
+    return out;
+}
+
+}  // namespace zc::chain

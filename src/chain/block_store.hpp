@@ -1,0 +1,115 @@
+// Replica-local blockchain storage.
+//
+// Stores the chain from a base block (genesis, or the last exported block
+// after pruning) to the head. Supports:
+//   * append with parent-link validation,
+//   * pruning after a confirmed export (the evidence — the data centers'
+//     signed deletes — is retained so chain verification can anchor at the
+//     new base instead of genesis),
+//   * header-only trimming (paper error scenario (v): before memory
+//     exhaustion, replicas may drop bodies but keep headers so integrity
+//     remains verifiable),
+//   * optional file-backed persistence (paper: the blockchain is persisted
+//     on disk to survive power loss),
+//   * full-range validation of hash links and payload roots.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+
+#include "chain/block.hpp"
+#include "metrics/memory.hpp"
+
+namespace zc::chain {
+
+/// Evidence that pruning below a base block was authorized by the data
+/// centers (serialized signed deletes; opaque at this layer).
+struct PruneAnchor {
+    Height base_height = 0;
+    crypto::Digest base_hash{};
+    Bytes evidence;
+
+    void encode(codec::Writer& w) const;
+    static PruneAnchor decode(codec::Reader& r);
+};
+
+class BlockStore {
+public:
+    /// In-memory store, seeded with the genesis block. If `dir` is given,
+    /// blocks are additionally persisted there as they are appended.
+    explicit BlockStore(metrics::Gauge* gauge = nullptr,
+                        std::optional<std::filesystem::path> dir = std::nullopt);
+
+    /// Restores a store from a persistence directory.
+    static BlockStore load(const std::filesystem::path& dir, metrics::Gauge* gauge = nullptr);
+
+    /// Appends a block; throws std::invalid_argument if the height or
+    /// parent hash does not extend the current head.
+    void append(Block block);
+
+    /// Block at height, or nullptr if unknown/pruned/body-trimmed.
+    const Block* get(Height height) const;
+
+    /// Header at height, or nullptr if unknown/pruned. Survives body trims.
+    const BlockHeader* header(Height height) const;
+
+    Height head_height() const noexcept { return head_height_; }
+    const crypto::Digest& head_hash() const noexcept { return head_hash_; }
+
+    /// Lowest retained height (genesis or the prune base).
+    Height base_height() const noexcept { return base_height_; }
+
+    /// Number of retained block entries (headers).
+    std::size_t size() const noexcept { return entries_.size(); }
+
+    /// Deletes everything below `base`; the block at `base` is kept as the
+    /// first block of the pruned chain (paper §III-D step 6). `evidence`
+    /// is the serialized delete certificate.
+    void prune_to(Height base, Bytes evidence);
+
+    const std::optional<PruneAnchor>& anchor() const noexcept { return anchor_; }
+
+    /// Drops request bodies for heights <= `height`, keeping headers
+    /// (emergency space reclamation; must itself be agreed via consensus,
+    /// which the caller is responsible for).
+    void trim_bodies_to(Height height);
+
+    /// Validates hash links and payload roots over [from, to]. Bodies that
+    /// were trimmed validate by header link only.
+    bool validate(Height from, Height to) const;
+
+    /// Copies blocks in [from, to] (skipping trimmed bodies).
+    std::vector<Block> range(Height from, Height to) const;
+
+    /// Logical bytes held (tracked in the memory gauge as well).
+    std::size_t stored_bytes() const noexcept { return stored_bytes_; }
+
+private:
+    struct LoadTag {};
+
+    /// Load-path constructor: attaches to `dir` without seeding/persisting
+    /// a fresh genesis (the directory's existing contents are authoritative).
+    BlockStore(LoadTag, metrics::Gauge* gauge, std::filesystem::path dir);
+
+    struct Entry {
+        Block block;
+        bool body_present = true;  // false after trim_bodies_to
+    };
+
+    void account(std::int64_t delta);
+    std::filesystem::path block_path(Height height) const;
+    void persist(const Block& block) const;
+    static std::size_t body_bytes(const Block& block) noexcept;
+
+    std::map<Height, Entry> entries_;
+    Height base_height_ = 0;
+    Height head_height_ = 0;
+    crypto::Digest head_hash_{};
+    std::optional<PruneAnchor> anchor_;
+    metrics::Gauge* gauge_;
+    std::optional<std::filesystem::path> dir_;
+    std::size_t stored_bytes_ = 0;
+};
+
+}  // namespace zc::chain

@@ -1,0 +1,134 @@
+// Compact binary wire format (protobuf-style primitives: LEB128 varints,
+// fixed-width little-endian integers, length-delimited byte strings).
+//
+// Every protocol message implements
+//     void encode(codec::Writer&) const;
+//     static T decode(codec::Reader&);
+// Decoding malformed input throws codec::DecodeError, which the transport
+// layer treats as a Byzantine/corrupt message and drops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace zc::codec {
+
+/// Thrown when decoding runs past the buffer or violates a limit.
+class DecodeError : public std::runtime_error {
+public:
+    explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends primitives to a growing byte buffer.
+class Writer {
+public:
+    Writer() = default;
+    explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v);
+
+    /// LEB128 unsigned varint (1-10 bytes).
+    void varint(std::uint64_t v);
+
+    /// Length-delimited byte string (varint length + raw bytes).
+    void bytes(BytesView v);
+    void str(std::string_view v);
+
+    /// Raw bytes without a length prefix (fixed-size fields: digests, keys,
+    /// signatures).
+    void raw(BytesView v);
+    template <std::size_t N>
+    void raw(const std::array<std::uint8_t, N>& v) {
+        raw(BytesView{v.data(), v.size()});
+    }
+
+    const Bytes& buffer() const noexcept { return buf_; }
+    Bytes take() noexcept { return std::move(buf_); }
+    std::size_t size() const noexcept { return buf_.size(); }
+
+private:
+    Bytes buf_;
+};
+
+/// Reads primitives from a byte view with bounds checking.
+class Reader {
+public:
+    explicit Reader(BytesView data) noexcept : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+
+    std::uint64_t varint();
+
+    /// Length-delimited byte string. `max_len` guards against hostile
+    /// lengths claiming gigabytes.
+    Bytes bytes(std::size_t max_len = kDefaultMaxLen);
+    std::string str(std::size_t max_len = kDefaultMaxLen);
+
+    /// Fixed-size raw read.
+    void raw(std::uint8_t* out, std::size_t n);
+    template <std::size_t N>
+    std::array<std::uint8_t, N> raw_array() {
+        std::array<std::uint8_t, N> out;
+        raw(out.data(), N);
+        return out;
+    }
+
+    std::size_t remaining() const noexcept { return data_.size() - pos_; }
+    bool done() const noexcept { return remaining() == 0; }
+
+    /// Throws unless the whole buffer has been consumed (trailing garbage is
+    /// treated as corruption).
+    void expect_done() const;
+
+    static constexpr std::size_t kDefaultMaxLen = 64u << 20;  // 64 MiB
+
+private:
+    void need(std::size_t n) const;
+
+    BytesView data_;
+    std::size_t pos_ = 0;
+};
+
+/// Round-trip helpers for message types with encode/decode members.
+template <typename T>
+Bytes encode_to_bytes(const T& msg) {
+    Writer w;
+    msg.encode(w);
+    return w.take();
+}
+
+template <typename T>
+T decode_from_bytes(BytesView data) {
+    Reader r(data);
+    T msg = T::decode(r);
+    r.expect_done();
+    return msg;
+}
+
+/// Decode variant returning nullopt instead of throwing; used on network
+/// receive paths where corruption is an expected fault.
+template <typename T>
+std::optional<T> try_decode(BytesView data) noexcept {
+    try {
+        return decode_from_bytes<T>(data);
+    } catch (const DecodeError&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace zc::codec

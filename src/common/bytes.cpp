@@ -1,0 +1,33 @@
+#include "common/bytes.hpp"
+
+namespace zc {
+
+Bytes to_bytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+void append(Bytes& dst, BytesView src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+bool equal_ct(BytesView a, BytesView b) {
+    if (a.size() != b.size()) return false;
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+std::uint64_t fnv1a(BytesView b) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t c : b) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace zc

@@ -1,0 +1,41 @@
+// Byte-buffer primitives shared by every ZugChain module.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zc {
+
+/// Owned, contiguous byte buffer. The canonical payload/message type.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a byte buffer from a string literal / std::string.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as text (for diagnostics only).
+std::string to_string(BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Constant-time-ish equality for digests and signatures. Always scans the
+/// full length so comparison time does not leak the mismatch position.
+bool equal_ct(BytesView a, BytesView b);
+
+/// FNV-1a 64-bit hash of a byte range. Non-cryptographic; used only for
+/// hash-map bucketing of payloads (dedup window), never for integrity.
+std::uint64_t fnv1a(BytesView b) noexcept;
+
+/// Functor so Bytes can key unordered containers via FNV-1a.
+struct BytesHash {
+    std::size_t operator()(const Bytes& b) const noexcept { return fnv1a(b); }
+};
+
+}  // namespace zc

@@ -1,0 +1,38 @@
+// Minimal "{}" formatter (GCC 12 on this toolchain lacks <format>).
+// Supports sequential "{}" placeholders rendered via operator<<; surplus
+// arguments are appended, surplus placeholders are left verbatim.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace zc {
+
+namespace format_detail {
+
+inline void format_rest(std::ostringstream& out, std::string_view fmt) { out << fmt; }
+
+template <typename First, typename... Rest>
+void format_rest(std::ostringstream& out, std::string_view fmt, First&& first, Rest&&... rest) {
+    const std::size_t pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        out << fmt << ' ' << first;
+        (void)std::initializer_list<int>{((out << ' ' << rest), 0)...};
+        return;
+    }
+    out << fmt.substr(0, pos) << first;
+    format_rest(out, fmt.substr(pos + 2), std::forward<Rest>(rest)...);
+}
+
+}  // namespace format_detail
+
+/// Formats `fmt`, substituting "{}" placeholders left to right.
+template <typename... Args>
+std::string format(std::string_view fmt, Args&&... args) {
+    std::ostringstream out;
+    format_detail::format_rest(out, fmt, std::forward<Args>(args)...);
+    return out.str();
+}
+
+}  // namespace zc

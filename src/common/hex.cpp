@@ -1,0 +1,39 @@
+#include "common/hex.hpp"
+
+namespace zc {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView b) {
+    std::string out;
+    out.reserve(b.size() * 2);
+    for (std::uint8_t c : b) {
+        out.push_back(kHexDigits[c >> 4]);
+        out.push_back(kHexDigits[c & 0xf]);
+    }
+    return out;
+}
+
+std::optional<Bytes> from_hex(std::string_view s) {
+    if (s.size() % 2 != 0) return std::nullopt;
+    Bytes out;
+    out.reserve(s.size() / 2);
+    for (std::size_t i = 0; i < s.size(); i += 2) {
+        const int hi = nibble(s[i]);
+        const int lo = nibble(s[i + 1]);
+        if (hi < 0 || lo < 0) return std::nullopt;
+        out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+    }
+    return out;
+}
+
+}  // namespace zc

@@ -1,0 +1,18 @@
+// Hex encoding/decoding for digests, keys and diagnostics.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace zc {
+
+/// Lower-case hex encoding.
+std::string to_hex(BytesView b);
+
+/// Decodes lower- or upper-case hex. Returns nullopt on odd length or
+/// non-hex characters.
+std::optional<Bytes> from_hex(std::string_view s);
+
+}  // namespace zc

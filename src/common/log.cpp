@@ -1,0 +1,67 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace zc {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kOff};
+std::once_flag g_init_once;
+
+LogLevel parse_level(const char* s) {
+    const std::string v = s ? s : "";
+    if (v == "trace") return LogLevel::kTrace;
+    if (v == "debug") return LogLevel::kDebug;
+    if (v == "info") return LogLevel::kInfo;
+    if (v == "warn") return LogLevel::kWarn;
+    if (v == "error") return LogLevel::kError;
+    if (v == "off") return LogLevel::kOff;
+    return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+void ensure_init() {
+    std::call_once(g_init_once, [] {
+        g_threshold.store(parse_level(std::getenv("ZC_LOG")), std::memory_order_relaxed);
+    });
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+    ensure_init();
+    g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace log_detail {
+
+LogLevel threshold() noexcept {
+    ensure_init();
+    return g_threshold.load(std::memory_order_relaxed);
+}
+
+void emit(LogLevel level, std::string_view component, std::string_view msg) {
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace log_detail
+
+}  // namespace zc

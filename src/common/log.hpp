@@ -1,0 +1,36 @@
+// Minimal leveled logger. Protocol code logs through this so tests can
+// silence output and failure investigations can crank verbosity per run.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/format.hpp"
+
+namespace zc {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_detail {
+LogLevel threshold() noexcept;
+void emit(LogLevel level, std::string_view component, std::string_view msg);
+}  // namespace log_detail
+
+/// Sets the global log threshold (default: kWarn; respects ZC_LOG env var
+/// with values trace/debug/info/warn/error/off on first use).
+void set_log_level(LogLevel level) noexcept;
+
+template <typename... Args>
+void log(LogLevel level, std::string_view component, std::string_view fmt, Args&&... args) {
+    if (level < log_detail::threshold()) return;
+    log_detail::emit(level, component, zc::format(fmt, std::forward<Args>(args)...));
+}
+
+#define ZC_LOG_AT(level, component, ...) ::zc::log((level), (component), __VA_ARGS__)
+#define ZC_TRACE(component, ...) ZC_LOG_AT(::zc::LogLevel::kTrace, component, __VA_ARGS__)
+#define ZC_DEBUG(component, ...) ZC_LOG_AT(::zc::LogLevel::kDebug, component, __VA_ARGS__)
+#define ZC_INFO(component, ...) ZC_LOG_AT(::zc::LogLevel::kInfo, component, __VA_ARGS__)
+#define ZC_WARN(component, ...) ZC_LOG_AT(::zc::LogLevel::kWarn, component, __VA_ARGS__)
+#define ZC_ERROR(component, ...) ZC_LOG_AT(::zc::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace zc

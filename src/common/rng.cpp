@@ -1,0 +1,84 @@
+#include "common/rng.hpp"
+
+namespace zc {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+    // Debiased via rejection sampling.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double Rng::next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double probability) noexcept {
+    if (probability <= 0.0) return false;
+    if (probability >= 1.0) return true;
+    return next_double() < probability;
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+void Rng::fill(Bytes& out) noexcept {
+    std::size_t i = 0;
+    while (i < out.size()) {
+        std::uint64_t r = next();
+        for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+            out[i] = static_cast<std::uint8_t>(r & 0xff);
+            r >>= 8;
+        }
+    }
+}
+
+Bytes Rng::bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+}
+
+Rng Rng::fork(std::string_view label) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : label) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return Rng(next() ^ h);
+}
+
+}  // namespace zc

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generator for reproducible simulation.
+//
+// Every scenario derives all randomness (network jitter, bus faults, key
+// generation, Byzantine schedules) from a single seed through named
+// sub-streams, so two runs with the same seed are bit-identical regardless
+// of module initialization order.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace zc {
+
+/// xoshiro256** PRNG. Not cryptographically secure; simulation only.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) noexcept;
+
+    /// Uniform 64-bit value.
+    std::uint64_t next() noexcept;
+
+    /// Uniform in [0, bound). bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+    /// Uniform double in [0, 1).
+    double next_double() noexcept;
+
+    /// Bernoulli trial.
+    bool chance(double probability) noexcept;
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t next_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Fills a buffer with pseudo-random bytes (key material in tests/sims).
+    void fill(Bytes& out) noexcept;
+    Bytes bytes(std::size_t n);
+
+    /// Derives an independent sub-stream, e.g. fork("bus-faults") — the
+    /// label is mixed into the seed so streams do not correlate.
+    Rng fork(std::string_view label) noexcept;
+
+private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace zc

@@ -1,0 +1,29 @@
+// Simulation time types. All protocol and substrate code runs on virtual
+// time supplied by the discrete-event engine; nothing reads the wall clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace zc {
+
+/// Virtual duration, nanosecond resolution.
+using Duration = std::chrono::nanoseconds;
+
+/// Virtual instant, measured since simulation start.
+using TimePoint = std::chrono::nanoseconds;
+
+constexpr Duration nanoseconds(std::int64_t v) { return Duration{v}; }
+constexpr Duration microseconds(std::int64_t v) { return Duration{v * 1'000}; }
+constexpr Duration milliseconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+
+/// Fractional-millisecond helper for cost models.
+constexpr Duration millis_f(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e6)};
+}
+
+constexpr double to_seconds(Duration d) { return static_cast<double>(d.count()) / 1e9; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d.count()) / 1e6; }
+
+}  // namespace zc

@@ -1,0 +1,526 @@
+#include "crypto/ed25519.hpp"
+
+#include <cstring>
+
+#include "crypto/sha512.hpp"
+
+namespace zc::crypto::ed25519 {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// ---------------------------------------------------------------------------
+// Field arithmetic mod p = 2^255 - 19.
+//
+// Elements are four 64-bit little-endian limbs holding any 256-bit value
+// congruent to the represented element; full reduction happens only on
+// encode/compare. All operations preserve congruence mod p using the
+// identity 2^256 == 38 (mod p).
+// ---------------------------------------------------------------------------
+
+struct Fe {
+    u64 v[4];
+};
+
+constexpr Fe kFeZero{{0, 0, 0, 0}};
+constexpr Fe kFeOne{{1, 0, 0, 0}};
+constexpr u64 kP[4] = {0xffffffffffffffedULL, 0xffffffffffffffffULL, 0xffffffffffffffffULL,
+                       0x7fffffffffffffffULL};
+
+// r = a + b (mod 2^256) returning the carry-out.
+u64 add4(u64 r[4], const u64 a[4], const u64 b[4]) {
+    u128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        carry += static_cast<u128>(a[i]) + b[i];
+        r[i] = static_cast<u64>(carry);
+        carry >>= 64;
+    }
+    return static_cast<u64>(carry);
+}
+
+// r = a - b (mod 2^256) returning the borrow-out (1 if a < b).
+u64 sub4(u64 r[4], const u64 a[4], const u64 b[4]) {
+    u64 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+        const u64 bi = b[i];
+        const u64 t = a[i] - bi;
+        const u64 borrow1 = a[i] < bi ? 1u : 0u;
+        const u64 t2 = t - borrow;
+        const u64 borrow2 = t < borrow ? 1u : 0u;
+        r[i] = t2;
+        borrow = borrow1 | borrow2;
+    }
+    return borrow;
+}
+
+// r += small, returning carry-out.
+u64 add_small(u64 r[4], u64 small) {
+    u128 carry = small;
+    for (int i = 0; i < 4 && carry != 0; ++i) {
+        carry += r[i];
+        r[i] = static_cast<u64>(carry);
+        carry >>= 64;
+    }
+    return static_cast<u64>(carry);
+}
+
+// r -= small, returning borrow-out.
+u64 sub_small(u64 r[4], u64 small) {
+    u64 borrow = small;
+    for (int i = 0; i < 4 && borrow != 0; ++i) {
+        const u64 t = r[i];
+        r[i] = t - borrow;
+        borrow = t < borrow ? 1u : 0u;
+    }
+    return borrow;
+}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+    Fe r;
+    u64 carry = add4(r.v, a.v, b.v);
+    while (carry != 0) carry = add_small(r.v, carry * 38);
+    return r;
+}
+
+Fe fe_sub(const Fe& a, const Fe& b) {
+    Fe r;
+    u64 borrow = sub4(r.v, a.v, b.v);
+    // value = a - b + borrow*2^256; 2^256 == 38 (mod p), so subtract 38 per
+    // borrow. A fresh borrow can only occur while the limbs are tiny and the
+    // loop terminates after at most two iterations.
+    while (borrow != 0) borrow = sub_small(r.v, borrow * 38);
+    return r;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+    u64 lo[4] = {0, 0, 0, 0}, hi[4] = {0, 0, 0, 0};
+    u64 t[8] = {0};
+    for (int i = 0; i < 4; ++i) {
+        u128 carry = 0;
+        for (int j = 0; j < 4; ++j) {
+            carry += static_cast<u128>(a.v[i]) * b.v[j] + t[i + j];
+            t[i + j] = static_cast<u64>(carry);
+            carry >>= 64;
+        }
+        t[i + 4] = static_cast<u64>(carry);
+    }
+    std::memcpy(lo, t, sizeof lo);
+    std::memcpy(hi, t + 4, sizeof hi);
+
+    // Fold: result = lo + 38*hi (mod p).
+    Fe r;
+    u128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        carry += static_cast<u128>(hi[i]) * 38 + lo[i];
+        r.v[i] = static_cast<u64>(carry);
+        carry >>= 64;
+    }
+    u64 c = static_cast<u64>(carry);
+    while (c != 0) c = add_small(r.v, c * 38);
+    return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+bool ge4(const u64 a[4], const u64 b[4]) {
+    for (int i = 3; i >= 0; --i) {
+        if (a[i] != b[i]) return a[i] > b[i];
+    }
+    return true;
+}
+
+// Fully reduces into [0, p).
+Fe fe_reduce(const Fe& a) {
+    Fe r = a;
+    // r < 2^256 < 4p approximately (p ~ 2^255), so at most two subtractions.
+    for (int i = 0; i < 2; ++i) {
+        if (ge4(r.v, kP)) sub4(r.v, r.v, kP);
+    }
+    return r;
+}
+
+bool fe_equal(const Fe& a, const Fe& b) {
+    const Fe ra = fe_reduce(a), rb = fe_reduce(b);
+    return std::memcmp(ra.v, rb.v, sizeof ra.v) == 0;
+}
+
+bool fe_is_zero(const Fe& a) { return fe_equal(a, kFeZero); }
+
+// Square-and-multiply exponentiation; exponent given as 4 limbs.
+Fe fe_pow(const Fe& base, const u64 exp[4]) {
+    Fe result = kFeOne;
+    Fe acc = base;
+    for (int limb = 0; limb < 4; ++limb) {
+        u64 e = exp[limb];
+        for (int bit = 0; bit < 64; ++bit) {
+            if (e & 1) result = fe_mul(result, acc);
+            acc = fe_sq(acc);
+            e >>= 1;
+        }
+    }
+    return result;
+}
+
+Fe fe_invert(const Fe& a) {
+    // a^(p-2)
+    u64 exp[4];
+    std::memcpy(exp, kP, sizeof exp);
+    exp[0] -= 2;  // p ends in ...ed, no borrow
+    return fe_pow(a, exp);
+}
+
+// Candidate square root: a^((p+3)/8); caller adjusts by sqrt(-1) if needed.
+Fe fe_pow_p3_8(const Fe& a) {
+    // (p+3)/8 = 2^252 - 2 = {0xfffffffffffffffe, ~0, ~0, 0x0fffffffffffffff}
+    const u64 exp[4] = {0xfffffffffffffffeULL, 0xffffffffffffffffULL, 0xffffffffffffffffULL,
+                        0x0fffffffffffffffULL};
+    return fe_pow(a, exp);
+}
+
+Fe fe_neg(const Fe& a) { return fe_sub(kFeZero, a); }
+
+Fe fe_from_u64(u64 x) { return Fe{{x, 0, 0, 0}}; }
+
+void fe_encode(std::uint8_t out[32], const Fe& a) {
+    const Fe r = fe_reduce(a);
+    for (int i = 0; i < 4; ++i) {
+        for (int b = 0; b < 8; ++b) out[8 * i + b] = static_cast<std::uint8_t>(r.v[i] >> (8 * b));
+    }
+}
+
+Fe fe_decode(const std::uint8_t in[32]) {
+    Fe r;
+    for (int i = 0; i < 4; ++i) {
+        u64 v = 0;
+        for (int b = 7; b >= 0; --b) v = (v << 8) | in[8 * i + b];
+        r.v[i] = v;
+    }
+    return r;
+}
+
+bool fe_is_odd(const Fe& a) { return (fe_reduce(a).v[0] & 1) != 0; }
+
+// ---------------------------------------------------------------------------
+// Curve constants, derived once at startup.
+// ---------------------------------------------------------------------------
+
+struct CurveConstants {
+    Fe d;        // -121665/121666
+    Fe d2;       // 2d
+    Fe sqrt_m1;  // sqrt(-1) = 2^((p-1)/4)
+};
+
+const CurveConstants& constants() {
+    static const CurveConstants k = [] {
+        CurveConstants c;
+        c.d = fe_mul(fe_neg(fe_from_u64(121665)), fe_invert(fe_from_u64(121666)));
+        c.d2 = fe_add(c.d, c.d);
+        // (p-1)/4 = 2^253 - 5 = {0xfffffffffffffffb, ~0, ~0, 0x1fffffffffffffff}
+        const u64 exp[4] = {0xfffffffffffffffbULL, 0xffffffffffffffffULL, 0xffffffffffffffffULL,
+                            0x1fffffffffffffffULL};
+        c.sqrt_m1 = fe_pow(fe_from_u64(2), exp);
+        return c;
+    }();
+    return k;
+}
+
+// ---------------------------------------------------------------------------
+// Point arithmetic, extended twisted Edwards coordinates (a = -1):
+// x = X/Z, y = Y/Z, T = XY/Z.
+// ---------------------------------------------------------------------------
+
+struct Point {
+    Fe x, y, z, t;
+};
+
+Point point_identity() { return Point{kFeZero, kFeOne, kFeOne, kFeZero}; }
+
+// add-2008-hwcd-3 (unified addition for a = -1).
+Point point_add(const Point& p, const Point& q) {
+    const Fe a = fe_mul(fe_sub(p.y, p.x), fe_sub(q.y, q.x));
+    const Fe b = fe_mul(fe_add(p.y, p.x), fe_add(q.y, q.x));
+    const Fe c = fe_mul(fe_mul(p.t, constants().d2), q.t);
+    const Fe d = fe_mul(fe_add(p.z, p.z), q.z);
+    const Fe e = fe_sub(b, a);
+    const Fe f = fe_sub(d, c);
+    const Fe g = fe_add(d, c);
+    const Fe h = fe_add(b, a);
+    return Point{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+// dbl-2008-hwcd (a = -1 so D = -A).
+Point point_double(const Point& p) {
+    const Fe a = fe_sq(p.x);
+    const Fe b = fe_sq(p.y);
+    const Fe zz = fe_sq(p.z);
+    const Fe c = fe_add(zz, zz);
+    const Fe d = fe_neg(a);
+    const Fe xy = fe_add(p.x, p.y);
+    const Fe e = fe_sub(fe_sub(fe_sq(xy), a), b);
+    const Fe g = fe_add(d, b);
+    const Fe f = fe_sub(g, c);
+    const Fe h = fe_sub(d, b);
+    return Point{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+// Scalar as 32 little-endian bytes; plain double-and-add (not constant time).
+Point point_scalar_mul(const Point& p, const std::uint8_t scalar[32]) {
+    Point result = point_identity();
+    Point acc = p;
+    for (int byte = 0; byte < 32; ++byte) {
+        std::uint8_t s = scalar[byte];
+        for (int bit = 0; bit < 8; ++bit) {
+            if (s & 1) result = point_add(result, acc);
+            acc = point_double(acc);
+            s >>= 1;
+        }
+    }
+    return result;
+}
+
+void point_encode(std::uint8_t out[32], const Point& p) {
+    const Fe zinv = fe_invert(p.z);
+    const Fe x = fe_mul(p.x, zinv);
+    const Fe y = fe_mul(p.y, zinv);
+    fe_encode(out, y);
+    if (fe_is_odd(x)) out[31] |= 0x80;
+}
+
+std::optional<Point> point_decode(const std::uint8_t in[32]) {
+    std::uint8_t ybytes[32];
+    std::memcpy(ybytes, in, 32);
+    const bool sign = (ybytes[31] & 0x80) != 0;
+    ybytes[31] &= 0x7f;
+    const Fe y = fe_decode(ybytes);
+    // Reject non-canonical y (>= p).
+    if (ge4(fe_reduce(y).v, kP) || std::memcmp(fe_reduce(y).v, y.v, sizeof y.v) != 0) {
+        // fe_decode gave a value < 2^255; if reduce changed it, it was >= p.
+        return std::nullopt;
+    }
+
+    // x^2 = (y^2 - 1) / (d*y^2 + 1)
+    const Fe y2 = fe_sq(y);
+    const Fe u = fe_sub(y2, kFeOne);
+    const Fe v = fe_add(fe_mul(constants().d, y2), kFeOne);
+    const Fe x2 = fe_mul(u, fe_invert(v));
+
+    Fe x = fe_pow_p3_8(x2);
+    if (!fe_equal(fe_sq(x), x2)) {
+        x = fe_mul(x, constants().sqrt_m1);
+        if (!fe_equal(fe_sq(x), x2)) return std::nullopt;
+    }
+    if (fe_is_zero(x) && sign) return std::nullopt;  // -0 is invalid
+    if (fe_is_odd(x) != sign) x = fe_neg(x);
+
+    Point p;
+    p.x = x;
+    p.y = y;
+    p.z = kFeOne;
+    p.t = fe_mul(x, y);
+    return p;
+}
+
+const Point& base_point() {
+    static const Point b = [] {
+        // y = 4/5 mod p, x = even root.
+        const Fe y = fe_mul(fe_from_u64(4), fe_invert(fe_from_u64(5)));
+        std::uint8_t enc[32];
+        fe_encode(enc, y);  // sign bit 0 -> even x
+        const auto p = point_decode(enc);
+        return *p;
+    }();
+    return b;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod the group order
+// L = 2^252 + 27742317777372353535851937790883648493.
+// ---------------------------------------------------------------------------
+
+constexpr u64 kL[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0, 0x1000000000000000ULL};
+
+struct Scalar {
+    u64 v[4];  // fully reduced, < L
+};
+
+// Reduces a 512-bit little-endian integer mod L by shift-and-subtract long
+// division. Slow but simple; scalars are not on the simulation hot path
+// thanks to the cost model.
+Scalar reduce_wide(const u64 in[8]) {
+    u64 r[4] = {0, 0, 0, 0};
+    for (int bit = 511; bit >= 0; --bit) {
+        // r = (r << 1) | bit; r stays < 2L < 2^254 so no overflow.
+        u64 carry = (in[bit / 64] >> (bit % 64)) & 1;
+        for (int i = 0; i < 4; ++i) {
+            const u64 next = r[i] >> 63;
+            r[i] = (r[i] << 1) | carry;
+            carry = next;
+        }
+        if (ge4(r, kL)) sub4(r, r, kL);
+    }
+    Scalar s;
+    std::memcpy(s.v, r, sizeof r);
+    return s;
+}
+
+Scalar scalar_from_bytes64(const std::uint8_t in[64]) {
+    u64 wide[8];
+    for (int i = 0; i < 8; ++i) {
+        u64 v = 0;
+        for (int b = 7; b >= 0; --b) v = (v << 8) | in[8 * i + b];
+        wide[i] = v;
+    }
+    return reduce_wide(wide);
+}
+
+Scalar scalar_from_bytes32(const std::uint8_t in[32]) {
+    u64 wide[8] = {0};
+    for (int i = 0; i < 4; ++i) {
+        u64 v = 0;
+        for (int b = 7; b >= 0; --b) v = (v << 8) | in[8 * i + b];
+        wide[i] = v;
+    }
+    return reduce_wide(wide);
+}
+
+// (a*b + c) mod L
+Scalar scalar_muladd(const Scalar& a, const Scalar& b, const Scalar& c) {
+    u64 t[8] = {0};
+    for (int i = 0; i < 4; ++i) {
+        u128 carry = 0;
+        for (int j = 0; j < 4; ++j) {
+            carry += static_cast<u128>(a.v[i]) * b.v[j] + t[i + j];
+            t[i + j] = static_cast<u64>(carry);
+            carry >>= 64;
+        }
+        t[i + 4] = static_cast<u64>(carry);
+    }
+    // t += c
+    u128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        carry += static_cast<u128>(t[i]) + c.v[i];
+        t[i] = static_cast<u64>(carry);
+        carry >>= 64;
+    }
+    for (int i = 4; i < 8 && carry != 0; ++i) {
+        carry += t[i];
+        t[i] = static_cast<u64>(carry);
+        carry >>= 64;
+    }
+    return reduce_wide(t);
+}
+
+void scalar_encode(std::uint8_t out[32], const Scalar& s) {
+    for (int i = 0; i < 4; ++i) {
+        for (int b = 0; b < 8; ++b) out[8 * i + b] = static_cast<std::uint8_t>(s.v[i] >> (8 * b));
+    }
+}
+
+// Checks the canonical-range requirement S < L for verification.
+bool scalar_is_canonical(const std::uint8_t in[32]) {
+    u64 limbs[4];
+    for (int i = 0; i < 4; ++i) {
+        u64 v = 0;
+        for (int b = 7; b >= 0; --b) v = (v << 8) | in[8 * i + b];
+        limbs[i] = v;
+    }
+    return !ge4(limbs, kL);
+}
+
+// ---------------------------------------------------------------------------
+// RFC 8032 operations.
+// ---------------------------------------------------------------------------
+
+void clamp(std::uint8_t a[32]) {
+    a[0] &= 248;
+    a[31] &= 63;
+    a[31] |= 64;
+}
+
+}  // namespace
+
+KeyPair keypair_from_seed(const std::array<std::uint8_t, 32>& seed) {
+    const Digest512 h = sha512(BytesView{seed.data(), seed.size()});
+    std::uint8_t a[32];
+    std::memcpy(a, h.data(), 32);
+    clamp(a);
+
+    const Point pub_point = point_scalar_mul(base_point(), a);
+    KeyPair kp;
+    kp.seed = seed;
+    point_encode(kp.pub.v.data(), pub_point);
+    return kp;
+}
+
+KeyPair generate(Rng& rng) {
+    std::array<std::uint8_t, 32> seed;
+    Bytes tmp = rng.bytes(seed.size());
+    std::memcpy(seed.data(), tmp.data(), seed.size());
+    return keypair_from_seed(seed);
+}
+
+Signature sign(const KeyPair& key, BytesView message) {
+    const Digest512 h = sha512(BytesView{key.seed.data(), key.seed.size()});
+    std::uint8_t a_bytes[32];
+    std::memcpy(a_bytes, h.data(), 32);
+    clamp(a_bytes);
+    const Scalar a = scalar_from_bytes32(a_bytes);
+
+    // r = H(prefix || M) mod L
+    Sha512 rh;
+    rh.update(h.data() + 32, 32).update(message);
+    const Digest512 r_digest = rh.finalize();
+    const Scalar r = scalar_from_bytes64(r_digest.data());
+
+    std::uint8_t r_bytes[32];
+    scalar_encode(r_bytes, r);
+    const Point r_point = point_scalar_mul(base_point(), r_bytes);
+    std::uint8_t r_enc[32];
+    point_encode(r_enc, r_point);
+
+    // k = H(R || A || M) mod L
+    Sha512 kh;
+    kh.update(r_enc, 32).update(key.pub.v.data(), 32).update(message);
+    const Digest512 k_digest = kh.finalize();
+    const Scalar k = scalar_from_bytes64(k_digest.data());
+
+    // S = r + k*a mod L
+    const Scalar s = scalar_muladd(k, a, r);
+
+    Signature sig;
+    std::memcpy(sig.v.data(), r_enc, 32);
+    scalar_encode(sig.v.data() + 32, s);
+    return sig;
+}
+
+bool verify(const PublicKey& pub, BytesView message, const Signature& sig) {
+    const std::uint8_t* r_enc = sig.v.data();
+    const std::uint8_t* s_enc = sig.v.data() + 32;
+    if (!scalar_is_canonical(s_enc)) return false;
+
+    const auto a_point = point_decode(pub.v.data());
+    if (!a_point) return false;
+    const auto r_point = point_decode(r_enc);
+    if (!r_point) return false;
+
+    Sha512 kh;
+    kh.update(r_enc, 32).update(pub.v.data(), 32).update(message);
+    const Digest512 k_digest = kh.finalize();
+    const Scalar k = scalar_from_bytes64(k_digest.data());
+    std::uint8_t k_bytes[32];
+    scalar_encode(k_bytes, k);
+
+    // Check [S]B == R + [k]A by comparing encodings.
+    const Point sb = point_scalar_mul(base_point(), s_enc);
+    const Point ka = point_scalar_mul(*a_point, k_bytes);
+    const Point rhs = point_add(*r_point, ka);
+
+    std::uint8_t lhs_enc[32], rhs_enc[32];
+    point_encode(lhs_enc, sb);
+    point_encode(rhs_enc, rhs);
+    return std::memcmp(lhs_enc, rhs_enc, 32) == 0;
+}
+
+}  // namespace zc::crypto::ed25519

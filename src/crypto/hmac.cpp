@@ -1,0 +1,34 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace zc::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message) noexcept {
+    constexpr std::size_t kBlock = 64;
+    std::uint8_t k[kBlock] = {};
+    if (key.size() > kBlock) {
+        const Digest kd = sha256(key);
+        std::memcpy(k, kd.data(), kd.size());
+    } else if (!key.empty()) {
+        std::memcpy(k, key.data(), key.size());
+    }
+
+    std::uint8_t ipad[kBlock], opad[kBlock];
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+        opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(ipad, kBlock).update(message);
+    const Digest inner_digest = inner.finalize();
+
+    Sha256 outer;
+    outer.update(opad, kBlock).update(inner_digest.data(), inner_digest.size());
+    return outer.finalize();
+}
+
+}  // namespace zc::crypto

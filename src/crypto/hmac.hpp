@@ -1,0 +1,13 @@
+// HMAC-SHA256 (RFC 2104). Used by the FastCrypto simulation provider and
+// available for keyed integrity checks.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/digest.hpp"
+
+namespace zc::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+Digest hmac_sha256(BytesView key, BytesView message) noexcept;
+
+}  // namespace zc::crypto

@@ -1,0 +1,68 @@
+// Signature-provider abstraction.
+//
+// All protocol code signs/verifies through this interface. Two providers
+// exist:
+//  * Ed25519Provider — real RFC 8032 signatures (what the paper's Rust
+//    prototype uses via `ring`).
+//  * FastProvider — HMAC-based simulation signatures for very large
+//    parameter sweeps. Verifiers look up the signer's secret in a shared
+//    registry, which is only sound inside a single-process simulation.
+//    The CPU *cost* charged by the metrics model is identical for both, so
+//    switching providers changes host runtime, never simulated results.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace zc::crypto {
+
+class CryptoProvider {
+public:
+    virtual ~CryptoProvider() = default;
+
+    /// Generates a key pair from simulation randomness.
+    virtual KeyPair generate(Rng& rng) = 0;
+
+    /// Signs a message with the given key pair.
+    virtual Signature sign(const KeyPair& key, BytesView message) = 0;
+
+    /// Verifies a signature against a public key.
+    virtual bool verify(const PublicKey& pub, BytesView message, const Signature& sig) = 0;
+
+    /// Human-readable provider name for experiment logs.
+    virtual const char* name() const noexcept = 0;
+};
+
+/// Real Ed25519 signatures.
+class Ed25519Provider final : public CryptoProvider {
+public:
+    KeyPair generate(Rng& rng) override;
+    Signature sign(const KeyPair& key, BytesView message) override;
+    bool verify(const PublicKey& pub, BytesView message, const Signature& sig) override;
+    const char* name() const noexcept override { return "ed25519"; }
+};
+
+/// HMAC-SHA256 simulation signatures (single-process only; see file
+/// comment). Signature = HMAC(secret, message) || HMAC(secret, message)'.
+class FastProvider final : public CryptoProvider {
+public:
+    KeyPair generate(Rng& rng) override;
+    Signature sign(const KeyPair& key, BytesView message) override;
+    bool verify(const PublicKey& pub, BytesView message, const Signature& sig) override;
+    const char* name() const noexcept override { return "fast-hmac"; }
+
+private:
+    Signature compute(const std::array<std::uint8_t, 32>& seed, BytesView message) const;
+
+    // public key -> seed, so any party can "verify" in-process.
+    std::unordered_map<PublicKey, std::array<std::uint8_t, 32>, PublicKeyHash> registry_;
+};
+
+/// Factory by name ("ed25519" | "fast"); throws std::invalid_argument.
+std::unique_ptr<CryptoProvider> make_provider(std::string_view name);
+
+}  // namespace zc::crypto

@@ -1,0 +1,38 @@
+// SHA-512 (FIPS 180-4), implemented from scratch. Used by Ed25519 per
+// RFC 8032 and validated against standard test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace zc::crypto {
+
+/// 64-byte digest (SHA-512 output).
+using Digest512 = std::array<std::uint8_t, 64>;
+
+/// Incremental SHA-512 context.
+class Sha512 {
+public:
+    Sha512() noexcept;
+
+    Sha512& update(BytesView data) noexcept;
+    Sha512& update(const void* data, std::size_t len) noexcept;
+
+    /// Finalizes and returns the digest; context must not be reused.
+    Digest512 finalize() noexcept;
+
+private:
+    void process_block(const std::uint8_t* block) noexcept;
+
+    std::uint64_t state_[8];
+    std::uint64_t total_len_ = 0;  // bytes; messages > 2^61 bytes unsupported
+    std::uint8_t buffer_[128];
+    std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest512 sha512(BytesView data) noexcept;
+
+}  // namespace zc::crypto

@@ -1,0 +1,126 @@
+// Data-center side of the export protocol (paper §III-D, Fig. 4).
+//
+// Any data center can initiate an export: it broadcasts a read (1),
+// collects 2f+1 stable-checkpoint replies plus full blocks from one
+// randomly chosen replica (2), synchronizes with the other companies'
+// data centers (3), validates signatures and chain integrity (4) — with a
+// second fetch round for gaps — signs a delete (5), and collects replica
+// acknowledgements (7). Each exported chain is kept permanently in the
+// data center's own block store.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "chain/block_store.hpp"
+#include "common/rng.hpp"
+#include "crypto/context.hpp"
+#include "export/messages.hpp"
+#include "sim/simulation.hpp"
+
+namespace zc::exporter {
+
+/// Outbound paths; implemented by the runtime.
+class DcTransport {
+public:
+    virtual ~DcTransport() = default;
+    virtual void to_replica(NodeId replica, const ExportMessage& m) = 0;
+    virtual void to_data_center(DataCenterId dc, const ExportMessage& m) = 0;
+};
+
+struct DcConfig {
+    DataCenterId id = 0;
+    std::uint32_t n = 4;
+    std::uint32_t f = 1;
+    SeqNo checkpoint_interval = 10;
+    std::vector<DataCenterId> peers;  ///< the other companies' data centers
+    Duration reply_timeout{seconds(20)};
+};
+
+/// Timing/outcome record of one export run (Table II's rows).
+struct ExportRecord {
+    TimePoint started{0};
+    Duration read_time{0};    ///< read broadcast until all needed replies
+    Duration verify_cost{0};  ///< CPU spent validating proofs + chain
+    Duration delete_time{0};  ///< delete broadcast until acks received
+    Height exported_from = 0;
+    Height exported_to = 0;
+    std::uint64_t blocks = 0;
+    bool success = false;
+};
+
+struct DcStats {
+    std::uint64_t exports_started = 0;
+    std::uint64_t exports_completed = 0;
+    std::uint64_t exports_failed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t invalid_messages = 0;
+    std::uint64_t syncs_received = 0;
+};
+
+class DataCenter {
+public:
+    DataCenter(DcConfig config, sim::Simulation& sim, crypto::CryptoContext& crypto,
+               DcTransport& transport, metrics::Gauge* store_gauge = nullptr);
+
+    /// (1) Starts an export round. No-op if one is already in progress.
+    void start_export();
+
+    void on_message(const ExportMessage& m);
+
+    /// Invoked when an export round finishes (successfully or not).
+    using CompletionHook = std::function<void(const ExportRecord&)>;
+    void set_completion_hook(CompletionHook hook) { on_complete_ = std::move(hook); }
+
+    const chain::BlockStore& store() const noexcept { return store_; }
+    const std::vector<ExportRecord>& history() const noexcept { return history_; }
+    const DcStats& stats() const noexcept { return stats_; }
+    bool exporting() const noexcept { return state_ != State::kIdle; }
+
+private:
+    enum class State { kIdle, kReading, kFetching, kDeleting };
+
+    void handle(const ReadReply& m);
+    void handle(const BlockFetchReply& m);
+    void handle(const DcSync& m);
+    void handle(const DeleteAck& m);
+    void handle(const DcFetch& m);
+
+    bool validate_proof(const pbft::CheckpointProof& proof);
+    void maybe_complete_read();
+    void verify_and_continue();
+    bool append_blocks(std::vector<chain::Block> blocks);
+    void issue_delete(Height height, const crypto::Digest& block_hash);
+    void finish(bool success);
+    void arm_timeout();
+
+    DcConfig config_;
+    sim::Simulation& sim_;
+    crypto::CryptoContext& crypto_;
+    DcTransport& transport_;
+    Rng rng_;
+    chain::BlockStore store_;
+
+    State state_ = State::kIdle;
+    ExportRecord current_;
+    NodeId full_from_ = 0;
+    std::set<NodeId> excluded_full_;  ///< replicas that failed to deliver blocks
+    std::map<NodeId, ReadReply> replies_;
+    std::optional<pbft::CheckpointProof> best_proof_;
+    Height target_height_ = 0;
+    std::vector<chain::Block> staged_blocks_;
+    TimePoint delete_started_{0};
+    std::set<NodeId> acks_;
+    sim::EventId timeout_ = sim::kInvalidEvent;
+
+    /// Latest validated stable checkpoint proof this DC holds; served to
+    /// lagging peer data centers (error scenario (iv)).
+    std::optional<pbft::CheckpointProof> last_proof_;
+
+    CompletionHook on_complete_;
+    std::vector<ExportRecord> history_;
+    DcStats stats_;
+};
+
+}  // namespace zc::exporter

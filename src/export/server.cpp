@@ -1,0 +1,135 @@
+#include "export/server.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace zc::exporter {
+
+ExportServer::ExportServer(ServerConfig config, crypto::CryptoContext& crypto,
+                           chain::BlockStore& store, ServerTransport& transport)
+    : config_(config), crypto_(crypto), store_(store), transport_(transport) {}
+
+void ExportServer::on_message(const ExportMessage& m) {
+    std::visit(
+        [this](const auto& msg) {
+            using T = std::decay_t<decltype(msg)>;
+            if constexpr (std::is_same_v<T, ReadRequest> || std::is_same_v<T, BlockFetch> ||
+                          std::is_same_v<T, DeleteCmd>) {
+                handle(msg);
+            }
+            // Replies/acks/syncs are data-center-bound; ignore here.
+        },
+        m);
+}
+
+void ExportServer::handle(const ReadRequest& m) {
+    if (!crypto_.verify(dc_key_id(m.dc), m.signing_bytes(), m.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    const pbft::CheckpointProof* proof = proof_ ? proof_() : nullptr;
+    if (proof == nullptr) return;  // nothing stable yet; DC will retry
+
+    ReadReply reply;
+    reply.replica = config_.id;
+    reply.proof = *proof;
+    if (m.full_from == config_.id) {
+        const Height to = proof_height(*proof);
+        const Height from = std::max(m.last_height + 1, store_.base_height());
+        if (from <= to) reply.blocks = store_.range(from, to);
+        stats_.blocks_sent += reply.blocks.size();
+    }
+    reply.sig = crypto_.sign(reply.signing_bytes());
+    stats_.reads_served += 1;
+    transport_.to_data_center(m.dc, ExportMessage{std::move(reply)});
+}
+
+void ExportServer::handle(const BlockFetch& m) {
+    if (!crypto_.verify(dc_key_id(m.dc), m.signing_bytes(), m.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    BlockFetchReply reply;
+    reply.replica = config_.id;
+    const Height from = std::max(m.from, store_.base_height());
+    const Height to = std::min(m.to, store_.head_height());
+    if (from <= to) reply.blocks = store_.range(from, to);
+    reply.sig = crypto_.sign(reply.signing_bytes());
+    stats_.fetches_served += 1;
+    transport_.to_data_center(m.dc, ExportMessage{std::move(reply)});
+}
+
+void ExportServer::handle(const DeleteCmd& m) {
+    if (!crypto_.verify(dc_key_id(m.dc), m.signing_bytes(), m.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    pending_deletes_[m.height][m.dc] = m;
+    try_execute_delete(m.height);
+}
+
+void ExportServer::on_new_block() {
+    // Retry deletes that arrived before their block existed (error (i)).
+    // try_execute_delete may erase entries, so snapshot the heights first.
+    std::vector<Height> heights;
+    heights.reserve(pending_deletes_.size());
+    for (const auto& [height, cmds] : pending_deletes_) heights.push_back(height);
+    for (const Height height : heights) try_execute_delete(height);
+}
+
+void ExportServer::try_execute_delete(Height height) {
+    const auto it = pending_deletes_.find(height);
+    if (it == pending_deletes_.end()) return;
+    if (it->second.size() < config_.delete_quorum) return;  // error (iii)
+
+    if (height > store_.head_height()) {
+        // Error (i): block not yet created — delay until it is. Export is
+        // decoupled from agreement, so we never block ordering for this.
+        stats_.deletes_delayed += 1;
+        return;
+    }
+
+    if (height < store_.base_height()) {
+        // Already pruned past this height (idempotent re-delivery).
+        pending_deletes_.erase(it);
+        return;
+    }
+
+    // All quorum deletes must match our block hash at that height.
+    const chain::BlockHeader* header = store_.header(height);
+    std::vector<DeleteCmd> evidence;
+    for (const auto& [dc, cmd] : it->second) {
+        if (header == nullptr || cmd.block_hash != header->hash()) {
+            stats_.deletes_rejected += 1;
+            DeleteAck nack;
+            nack.replica = config_.id;
+            nack.height = height;
+            nack.executed = false;
+            nack.sig = crypto_.sign(nack.signing_bytes());
+            transport_.to_data_center(dc, ExportMessage{nack});
+            continue;
+        }
+        evidence.push_back(cmd);
+    }
+    if (evidence.size() < config_.delete_quorum) {
+        pending_deletes_.erase(it);
+        return;
+    }
+
+    store_.prune_to(height, encode_delete_evidence(evidence));
+    stats_.deletes_executed += 1;
+
+    DeleteAck ack;
+    ack.replica = config_.id;
+    ack.height = height;
+    ack.executed = true;
+    ack.sig = crypto_.sign(ack.signing_bytes());
+    for (const auto& [dc, cmd] : it->second) {
+        (void)cmd;
+        transport_.to_data_center(dc, ExportMessage{ack});
+    }
+    pending_deletes_.erase(it);
+}
+
+}  // namespace zc::exporter

@@ -1,0 +1,85 @@
+// Replica-side export service (paper §III-D).
+//
+// Serves read and block-fetch requests from data centers directly from the
+// block store and the consensus' stable checkpoints — never touching the
+// ordering path — and executes pruning once enough data centers have
+// signed a delete for the same block. Handles the paper's error scenario
+// (i): a delete arriving before the block exists is delayed until the
+// block and its checkpoint have been created.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "chain/block_store.hpp"
+#include "crypto/context.hpp"
+#include "export/messages.hpp"
+
+namespace zc::exporter {
+
+/// Outbound path to data centers; implemented by the node runtime.
+class ServerTransport {
+public:
+    virtual ~ServerTransport() = default;
+    virtual void to_data_center(DataCenterId dc, const ExportMessage& m) = 0;
+};
+
+struct ServerConfig {
+    NodeId id = 0;
+    SeqNo checkpoint_interval = 10;
+    /// Signed deletes from this many distinct data centers are required
+    /// before blocks are pruned ("a certain, configurable number").
+    std::size_t delete_quorum = 2;
+};
+
+struct ServerStats {
+    std::uint64_t reads_served = 0;
+    std::uint64_t blocks_sent = 0;
+    std::uint64_t fetches_served = 0;
+    std::uint64_t deletes_executed = 0;
+    std::uint64_t deletes_delayed = 0;
+    std::uint64_t deletes_rejected = 0;
+    std::uint64_t invalid_messages = 0;
+};
+
+class ExportServer {
+public:
+    /// Supplies the consensus' latest stable checkpoint proof (nullptr
+    /// before the first checkpoint).
+    using ProofProvider = std::function<const pbft::CheckpointProof*()>;
+
+    ExportServer(ServerConfig config, crypto::CryptoContext& crypto, chain::BlockStore& store,
+                 ServerTransport& transport);
+
+    void set_proof_provider(ProofProvider provider) { proof_ = std::move(provider); }
+
+    void on_message(const ExportMessage& m);
+
+    /// Called when a new block/checkpoint exists: retries delayed deletes
+    /// (error scenario (i)).
+    void on_new_block();
+
+    const ServerStats& stats() const noexcept { return stats_; }
+
+private:
+    void handle(const ReadRequest& m);
+    void handle(const BlockFetch& m);
+    void handle(const DeleteCmd& m);
+    void try_execute_delete(Height height);
+    Height proof_height(const pbft::CheckpointProof& proof) const {
+        return proof.seq / config_.checkpoint_interval;
+    }
+
+    ServerConfig config_;
+    crypto::CryptoContext& crypto_;
+    chain::BlockStore& store_;
+    ServerTransport& transport_;
+    ProofProvider proof_;
+
+    /// Collected deletes: height -> dc -> command.
+    std::map<Height, std::map<DataCenterId, DeleteCmd>> pending_deletes_;
+
+    ServerStats stats_;
+};
+
+}  // namespace zc::exporter

@@ -1,0 +1,4 @@
+#include "metrics/cost_model.hpp"
+
+// Header-only today; kept as a TU so the cost table can grow host-measured
+// calibration code without touching every dependent target.

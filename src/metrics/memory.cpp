@@ -1,0 +1,29 @@
+#include "metrics/memory.hpp"
+
+namespace zc::metrics {
+
+Gauge* MemoryTracker::gauge(const std::string& name) {
+    for (const auto& g : gauges_) {
+        if (g->name() == name) return g.get();
+    }
+    gauges_.push_back(std::make_unique<Gauge>(name));
+    return gauges_.back().get();
+}
+
+std::int64_t MemoryTracker::total_bytes() const noexcept {
+    std::int64_t total = kProcessBaseBytes;
+    for (const auto& g : gauges_) total += g->value();
+    return total;
+}
+
+void MemoryTracker::sample() {
+    samples_.add(static_cast<double>(total_bytes()) / (1024.0 * 1024.0));
+}
+
+std::uint64_t MemoryTracker::underflows() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& g : gauges_) n += g->underflows();
+    return n;
+}
+
+}  // namespace zc::metrics

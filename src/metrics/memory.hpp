@@ -1,0 +1,73 @@
+// Logical memory accounting.
+//
+// Components register gauges (request queues, PBFT message log, block
+// store, in-flight network buffers) and adjust them as bytes are held or
+// released. A sampler snapshots the per-node total on a fixed virtual-time
+// period; experiments report mean and peak. A constant process base models
+// the runtime footprint so magnitudes resemble the paper's MB-scale plots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "metrics/stats.hpp"
+
+namespace zc::metrics {
+
+/// One named byte counter. Values never go below zero (clamped; a clamp
+/// indicates an accounting bug, surfaced via underflows()).
+class Gauge {
+public:
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    void add(std::int64_t bytes) noexcept {
+        value_ += bytes;
+        if (value_ < 0) {
+            value_ = 0;
+            ++underflows_;
+        }
+    }
+    void set(std::int64_t bytes) noexcept { value_ = bytes < 0 ? 0 : bytes; }
+
+    std::int64_t value() const noexcept { return value_; }
+    const std::string& name() const noexcept { return name_; }
+    std::uint64_t underflows() const noexcept { return underflows_; }
+
+private:
+    std::string name_;
+    std::int64_t value_ = 0;
+    std::uint64_t underflows_ = 0;
+};
+
+/// Per-node memory tracker.
+class MemoryTracker {
+public:
+    /// Fixed footprint of the process (binary, runtime, OS buffers).
+    static constexpr std::int64_t kProcessBaseBytes = 24ll << 20;  // 24 MiB
+
+    /// Creates (or returns) a named gauge; pointers remain valid for the
+    /// tracker's lifetime.
+    Gauge* gauge(const std::string& name);
+
+    /// Current total = base + sum of gauges.
+    std::int64_t total_bytes() const noexcept;
+
+    /// Records a sample of the current total (MB) into the summary.
+    void sample();
+
+    const Summary& samples_mb() const noexcept { return samples_; }
+
+    /// Sum of accounting underflows across gauges (should be 0).
+    std::uint64_t underflows() const noexcept;
+
+    const std::vector<std::unique_ptr<Gauge>>& gauges() const noexcept { return gauges_; }
+
+private:
+    std::vector<std::unique_ptr<Gauge>> gauges_;
+    Summary samples_;
+};
+
+}  // namespace zc::metrics

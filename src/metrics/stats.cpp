@@ -1,0 +1,58 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace zc::metrics {
+
+void Summary::add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+    sum_ += v;
+}
+
+double Summary::mean() const noexcept {
+    if (samples_.empty()) return 0.0;
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const noexcept {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const noexcept {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const noexcept {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : samples_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double q) const {
+    if (samples_.empty()) throw std::logic_error("percentile of empty summary");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile out of range");
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Summary::merge(const Summary& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+    sum_ += other.sum_;
+}
+
+}  // namespace zc::metrics

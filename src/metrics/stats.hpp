@@ -1,0 +1,67 @@
+// Summary statistics for experiment outputs (latency distributions,
+// utilization samples, ...).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace zc::metrics {
+
+/// Accumulates scalar samples; percentiles computed on demand from the
+/// retained sample vector (experiments are bounded, so retention is fine).
+class Summary {
+public:
+    void add(double v);
+
+    std::size_t count() const noexcept { return samples_.size(); }
+    bool empty() const noexcept { return samples_.empty(); }
+    double mean() const noexcept;
+    double min() const noexcept;
+    double max() const noexcept;
+    double stddev() const noexcept;
+
+    /// q in [0, 1]; e.g. 0.5 = median, 0.99 = p99. Linear interpolation.
+    double percentile(double q) const;
+
+    const std::vector<double>& samples() const noexcept { return samples_; }
+
+    /// Merges another summary into this one.
+    void merge(const Summary& other);
+
+private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+};
+
+/// Latency recorder keyed on durations; reports milliseconds.
+class LatencyRecorder {
+public:
+    void record(Duration d) { summary_.add(to_millis(d)); }
+    const Summary& millis() const noexcept { return summary_; }
+
+private:
+    Summary summary_;
+};
+
+/// Time series of (time, value) points, e.g. for the Fig. 8 view-change
+/// latency timeline.
+struct SeriesPoint {
+    double t_seconds;
+    double value;
+};
+
+class Series {
+public:
+    void add(TimePoint t, double value) {
+        points_.push_back(SeriesPoint{to_seconds(t), value});
+    }
+    const std::vector<SeriesPoint>& points() const noexcept { return points_; }
+
+private:
+    std::vector<SeriesPoint> points_;
+};
+
+}  // namespace zc::metrics

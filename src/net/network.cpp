@@ -1,0 +1,92 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace zc::net {
+
+Network::Network(sim::Simulation& sim) : sim_(sim), rng_(sim.rng().fork("network")) {}
+
+void Network::attach(EndpointId id, Endpoint* endpoint) {
+    if (endpoint == nullptr) throw std::invalid_argument("null endpoint");
+    endpoints_[id] = endpoint;
+}
+
+void Network::set_profile(EndpointId from, EndpointId to, const LinkProfile& profile) {
+    overrides_[{from, to}] = profile;
+}
+
+const LinkProfile& Network::profile_for(EndpointId from, EndpointId to) const {
+    const auto it = overrides_.find({from, to});
+    return it != overrides_.end() ? it->second : default_profile_;
+}
+
+void Network::send(EndpointId from, EndpointId to, Bytes message) {
+    const LinkProfile& profile = profile_for(from, to);
+    const std::size_t wire_bytes = message.size() + kFrameOverhead;
+
+    TrafficStats& sender = stats_[from];
+    sender.bytes_sent += wire_bytes;
+    sender.messages_sent += 1;
+    total_bytes_sent_ += wire_bytes;
+
+    if (blocked_.contains({from, to})) {
+        sender.messages_dropped += 1;
+        return;
+    }
+    if (profile.loss > 0.0 && rng_.chance(profile.loss)) {
+        sender.messages_dropped += 1;
+        return;
+    }
+
+    // Serialize on the sender's NIC: transmission begins when the NIC is
+    // free, takes size/bandwidth, then propagates.
+    const Duration tx{static_cast<std::int64_t>(static_cast<double>(wire_bytes) * 8.0 /
+                                                profile.bandwidth_bps * 1e9)};
+    TimePoint& nic_free = egress_free_.try_emplace(from, TimePoint{0}).first->second;
+    const TimePoint tx_start = std::max(sim_.now(), nic_free);
+    const TimePoint tx_done = tx_start + tx;
+    nic_free = tx_done;
+
+    Duration extra{0};
+    if (profile.jitter > Duration::zero()) {
+        extra = Duration{static_cast<std::int64_t>(
+            rng_.next_below(static_cast<std::uint64_t>(profile.jitter.count()) + 1))};
+    }
+    const TimePoint arrival = tx_done + profile.latency + extra;
+
+    sim_.schedule_at(arrival, [this, from, to, msg = std::move(message), wire_bytes]() mutable {
+        const auto it = endpoints_.find(to);
+        if (it == endpoints_.end()) {
+            ZC_DEBUG("net", "message to unknown endpoint {} dropped", to);
+            return;
+        }
+        TrafficStats& receiver = stats_[to];
+        receiver.bytes_received += wire_bytes;
+        receiver.messages_received += 1;
+        it->second->deliver(from, std::move(msg));
+    });
+}
+
+void Network::set_blocked(EndpointId from, EndpointId to, bool blocked) {
+    if (blocked) {
+        blocked_.insert({from, to});
+    } else {
+        blocked_.erase({from, to});
+    }
+}
+
+const TrafficStats& Network::stats(EndpointId id) { return stats_[id]; }
+
+double Network::egress_utilization(EndpointId id, TimePoint since, std::uint64_t bytes_at_since,
+                                   double bandwidth_bps) {
+    const Duration elapsed = sim_.now() - since;
+    if (elapsed <= Duration::zero()) return 0.0;
+    const std::uint64_t sent = stats_[id].bytes_sent - bytes_at_since;
+    const double bits = static_cast<double>(sent) * 8.0;
+    return bits / (bandwidth_bps * to_seconds(elapsed));
+}
+
+}  // namespace zc::net

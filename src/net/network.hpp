@@ -1,0 +1,110 @@
+// Simulated message-passing network.
+//
+// Models the consensus Ethernet between ZugChain nodes and the LTE uplink
+// to the data centers: per-endpoint egress serialization at a configurable
+// bandwidth (a single NIC per device, so bursts queue), propagation latency
+// with jitter, probabilistic loss, and partitions. Per-endpoint byte meters
+// feed the network-utilization axis of Fig. 6.
+//
+// The network provides partial synchrony exactly as the paper assumes:
+// delivery is asynchronous with bounded (but load-dependent) delay; the
+// protocol layers never rely on timing for safety.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace zc::net {
+
+/// Global endpoint identifier (ZugChain nodes, data centers).
+using EndpointId = std::uint32_t;
+
+/// Receiver interface; implemented by node/data-center runtimes.
+class Endpoint {
+public:
+    virtual ~Endpoint() = default;
+    virtual void deliver(EndpointId from, Bytes message) = 0;
+};
+
+/// Transmission characteristics of a directed link.
+struct LinkProfile {
+    Duration latency{microseconds(100)};  ///< propagation delay
+    Duration jitter{microseconds(50)};    ///< uniform extra delay in [0, jitter]
+    double bandwidth_bps = 100e6;         ///< egress serialization rate
+    double loss = 0.0;                    ///< per-message drop probability
+
+    /// The testbed's 100 Mbit/s on-train Ethernet.
+    static LinkProfile train_ethernet() { return LinkProfile{}; }
+
+    /// The paper's LTE uplink: ~8.5 Mbit/s, tens of ms RTT.
+    static LinkProfile lte() {
+        return LinkProfile{milliseconds(35), milliseconds(15), 8.5e6, 0.0};
+    }
+};
+
+/// Per-endpoint traffic counters.
+struct TrafficStats {
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_received = 0;
+    std::uint64_t messages_dropped = 0;
+};
+
+class Network {
+public:
+    /// Per-message framing overhead added to the byte meters and
+    /// serialization time (Ethernet + IP + TCP headers).
+    static constexpr std::size_t kFrameOverhead = 66;
+
+    explicit Network(sim::Simulation& sim);
+
+    /// Registers an endpoint. The pointer must outlive the network.
+    void attach(EndpointId id, Endpoint* endpoint);
+
+    /// Profile applied to links without a specific override.
+    void set_default_profile(const LinkProfile& profile) { default_profile_ = profile; }
+
+    /// Overrides the directed link from -> to.
+    void set_profile(EndpointId from, EndpointId to, const LinkProfile& profile);
+
+    /// Sends a message; it is metered, serialized on the sender's NIC,
+    /// delayed, possibly dropped, and finally delivered.
+    void send(EndpointId from, EndpointId to, Bytes message);
+
+    /// Cuts / restores the directed pair (both calls are directional; cut
+    /// both directions for a full partition).
+    void set_blocked(EndpointId from, EndpointId to, bool blocked);
+
+    const TrafficStats& stats(EndpointId id);
+
+    /// Sum of payload+framing bytes sent by all endpoints.
+    std::uint64_t total_bytes_sent() const noexcept { return total_bytes_sent_; }
+
+    /// Egress utilization of an endpoint over (since, now] against the
+    /// given capacity, in [0, 1].
+    double egress_utilization(EndpointId id, TimePoint since, std::uint64_t bytes_at_since,
+                              double bandwidth_bps);
+
+private:
+    const LinkProfile& profile_for(EndpointId from, EndpointId to) const;
+
+    sim::Simulation& sim_;
+    Rng rng_;
+    LinkProfile default_profile_{};
+    std::unordered_map<EndpointId, Endpoint*> endpoints_;
+    std::map<std::pair<EndpointId, EndpointId>, LinkProfile> overrides_;
+    std::unordered_map<EndpointId, TimePoint> egress_free_;
+    std::unordered_map<EndpointId, TrafficStats> stats_;
+    std::set<std::pair<EndpointId, EndpointId>> blocked_;
+    std::uint64_t total_bytes_sent_ = 0;
+};
+
+}  // namespace zc::net

@@ -1,0 +1,173 @@
+// PBFT protocol messages (Castro & Liskov, OSDI'99), adapted as in the
+// paper: requests originate from ZugChain nodes reading the bus (or from
+// baseline clients), carry the origin node id, and are signed with
+// asymmetric cryptography; checkpoints are per-block and their 2f+1
+// signature sets double as export proofs.
+//
+// Every signed message exposes `signing_bytes()` — the canonical encoding
+// with the signature field excluded — so signing and verification cover
+// identical bytes.
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/ids.hpp"
+#include "crypto/context.hpp"
+#include "crypto/digest.hpp"
+
+namespace zc::pbft {
+
+/// A client/bus request submitted for total ordering.
+///
+/// Identity (for PBFT-level dedup) is the full digest over
+/// (payload, origin, origin_seq) — NOT the payload alone. This mirrors
+/// standard PBFT, where "duplication is avoided only on complete requests
+/// including client ids and sequence numbers, not on payloads"; payload-
+/// level dedup is ZugChain's communication layer's job.
+struct Request {
+    Bytes payload;
+    NodeId origin = kNoNode;        ///< node that received the data from the bus
+    std::uint64_t origin_seq = 0;   ///< per-origin uniqueifier (bus cycle / client ctr)
+    crypto::Signature sig{};
+
+    /// The null request used to fill sequence gaps during view changes.
+    static Request null() { return Request{}; }
+    bool is_null() const noexcept { return origin == kNoNode; }
+
+    Bytes signing_bytes() const;
+    void encode(codec::Writer& w) const;
+    static Request decode(codec::Reader& r);
+
+    /// Full-request digest (payload + origin + origin_seq).
+    crypto::Digest digest() const;
+
+    /// Payload-only digest, used by the ZugChain layer's dedup.
+    crypto::Digest payload_digest() const;
+
+    std::size_t size_bytes() const noexcept { return payload.size() + 80; }
+
+    friend bool operator==(const Request&, const Request&) = default;
+};
+
+struct PrePrepare {
+    View view = 0;
+    SeqNo seq = 0;
+    crypto::Digest req_digest{};
+    Request request;  ///< piggybacked full request
+    NodeId primary = kNoNode;
+    crypto::Signature sig{};
+
+    Bytes signing_bytes() const;
+    void encode(codec::Writer& w) const;
+    static PrePrepare decode(codec::Reader& r);
+    friend bool operator==(const PrePrepare&, const PrePrepare&) = default;
+};
+
+struct Prepare {
+    View view = 0;
+    SeqNo seq = 0;
+    crypto::Digest req_digest{};
+    NodeId replica = kNoNode;
+    crypto::Signature sig{};
+
+    Bytes signing_bytes() const;
+    void encode(codec::Writer& w) const;
+    static Prepare decode(codec::Reader& r);
+    friend bool operator==(const Prepare&, const Prepare&) = default;
+};
+
+struct Commit {
+    View view = 0;
+    SeqNo seq = 0;
+    crypto::Digest req_digest{};
+    NodeId replica = kNoNode;
+    crypto::Signature sig{};
+
+    Bytes signing_bytes() const;
+    void encode(codec::Writer& w) const;
+    static Commit decode(codec::Reader& r);
+    friend bool operator==(const Commit&, const Commit&) = default;
+};
+
+/// Signed application snapshot after executing `seq` (paper: one per
+/// block; the digest is the chain head hash, so a stable checkpoint's
+/// 2f+1 signatures certify the block for export).
+struct Checkpoint {
+    SeqNo seq = 0;
+    crypto::Digest state{};
+    NodeId replica = kNoNode;
+    crypto::Signature sig{};
+
+    Bytes signing_bytes() const;
+    void encode(codec::Writer& w) const;
+    static Checkpoint decode(codec::Reader& r);
+    friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+/// 2f+1 matching checkpoint messages: proof of a stable checkpoint.
+struct CheckpointProof {
+    SeqNo seq = 0;
+    crypto::Digest state{};
+    std::vector<Checkpoint> messages;
+
+    void encode(codec::Writer& w) const;
+    static CheckpointProof decode(codec::Reader& r);
+    friend bool operator==(const CheckpointProof&, const CheckpointProof&) = default;
+};
+
+/// Evidence that a request prepared at (view, seq): the preprepare plus 2f
+/// matching prepares from distinct backups.
+struct PreparedProof {
+    PrePrepare preprepare;
+    std::vector<Prepare> prepares;
+
+    void encode(codec::Writer& w) const;
+    static PreparedProof decode(codec::Reader& r);
+    friend bool operator==(const PreparedProof&, const PreparedProof&) = default;
+};
+
+struct ViewChange {
+    View new_view = 0;
+    SeqNo last_stable = 0;
+    std::optional<CheckpointProof> stable_proof;  ///< absent when last_stable == 0
+    std::vector<PreparedProof> prepared;
+    NodeId replica = kNoNode;
+    crypto::Signature sig{};
+
+    Bytes signing_bytes() const;
+    void encode(codec::Writer& w) const;
+    static ViewChange decode(codec::Reader& r);
+    friend bool operator==(const ViewChange&, const ViewChange&) = default;
+};
+
+struct NewView {
+    View view = 0;
+    std::vector<ViewChange> view_changes;   ///< the 2f+1 justifying VCs
+    std::vector<PrePrepare> reproposals;    ///< O: re-proposed + null preprepares
+    NodeId primary = kNoNode;
+    crypto::Signature sig{};
+
+    Bytes signing_bytes() const;
+    void encode(codec::Writer& w) const;
+    static NewView decode(codec::Reader& r);
+    friend bool operator==(const NewView&, const NewView&) = default;
+};
+
+/// Transport-level union of all PBFT messages.
+using Message =
+    std::variant<Request, PrePrepare, Prepare, Commit, Checkpoint, ViewChange, NewView>;
+
+/// Serializes with a leading type tag.
+Bytes encode_message(const Message& m);
+
+/// Returns nullopt on any malformed input (treated as a corrupt/Byzantine
+/// message and dropped by the transport).
+std::optional<Message> decode_message(BytesView data) noexcept;
+
+/// Short human-readable name for logs.
+const char* message_name(const Message& m) noexcept;
+
+}  // namespace zc::pbft

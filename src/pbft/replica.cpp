@@ -1,0 +1,710 @@
+#include "pbft/replica.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace zc::pbft {
+
+namespace {
+constexpr std::size_t kPhaseMsgBytes = 104;  // prepare/commit wire footprint
+}
+
+Replica::Replica(ReplicaConfig config, sim::Simulation& sim, crypto::CryptoContext& crypto,
+                 Transport& transport, Application& app, metrics::Gauge* log_gauge)
+    : config_(config), sim_(sim), crypto_(crypto), transport_(transport), app_(app),
+      log_gauge_(log_gauge) {}
+
+// ---- public downcalls --------------------------------------------------
+
+bool Replica::propose(const Request& request) {
+    stats_.proposals += 1;
+    if (in_view_change_) return false;
+    if (primary() == config_.id) return assign_and_propose(request);
+
+    // Not the primary: forward and optionally arm the baseline timer.
+    transport_.send(primary(), Message{request});
+    if (config_.request_timeout > Duration::zero()) {
+        const crypto::Digest digest = request.digest();
+        if (!request_timers_.contains(digest) && !known_requests_.contains(digest)) {
+            request_timers_[digest] = sim_.schedule(config_.request_timeout, [this, digest] {
+                request_timers_.erase(digest);
+                if (!knows_request(digest)) suspect();
+            });
+        }
+    }
+    return true;
+}
+
+void Replica::suspect() {
+    if (in_view_change_) return;  // escalation is timer-driven
+    start_view_change(view_ + 1);
+}
+
+void Replica::on_message(NodeId from, const Message& m) {
+    std::visit([this, from](const auto& msg) { handle(from, msg); }, m);
+}
+
+const CheckpointProof* Replica::latest_stable_proof() const {
+    if (stable_proofs_.empty()) return nullptr;
+    return &stable_proofs_.rbegin()->second;
+}
+
+const CheckpointProof* Replica::stable_proof(SeqNo seq) const {
+    const auto it = stable_proofs_.find(seq);
+    return it == stable_proofs_.end() ? nullptr : &it->second;
+}
+
+bool Replica::knows_request(const crypto::Digest& digest) const {
+    return known_requests_.contains(digest);
+}
+
+std::vector<Request> Replica::inflight_requests() const {
+    std::vector<Request> out;
+    for (const auto& [seq, s] : log_) {
+        if (seq <= last_exec_ || s.executed || !s.preprepare) continue;
+        if (s.preprepare->request.is_null()) continue;
+        out.push_back(s.preprepare->request);
+    }
+    return out;
+}
+
+// ---- ordering ----------------------------------------------------------
+
+bool Replica::in_watermarks(SeqNo seq) const noexcept {
+    return seq > last_stable_ && seq <= last_stable_ + config_.watermark_window;
+}
+
+Replica::Slot& Replica::slot(SeqNo seq) { return log_[seq]; }
+
+void Replica::account_slot_bytes(Slot& s, std::size_t bytes) {
+    s.bytes += bytes;
+    if (log_gauge_) log_gauge_->add(static_cast<std::int64_t>(bytes));
+}
+
+bool Replica::assign_and_propose(const Request& request) {
+    const crypto::Digest digest = request.digest();
+    if (config_.dedup_proposals && known_requests_.contains(digest)) {
+        stats_.duplicate_proposals_blocked += 1;
+        return false;
+    }
+    if (!in_watermarks(next_seq_)) {
+        pending_.push_back(request);
+        return true;  // queued until the window advances
+    }
+
+    const SeqNo seq = next_seq_++;
+    PrePrepare pp;
+    pp.view = view_;
+    pp.seq = seq;
+    pp.req_digest = digest;
+    pp.request = request;
+    pp.primary = config_.id;
+    pp.sig = crypto_.sign(pp.signing_bytes());
+
+    Slot& s = slot(seq);
+    s.preprepare = pp;
+    account_slot_bytes(s, request.size_bytes() + 96);
+    known_requests_[digest] = seq;
+
+    stats_.preprepares_sent += 1;
+    transport_.broadcast(Message{pp});
+    return true;
+}
+
+void Replica::drain_pending() {
+    while (!pending_.empty() && is_primary() && in_watermarks(next_seq_)) {
+        Request r = std::move(pending_.front());
+        pending_.pop_front();
+        assign_and_propose(r);
+    }
+}
+
+void Replica::handle(NodeId from, const Request& r) {
+    if (!r.is_null() && !crypto_.verify(r.origin, r.signing_bytes(), r.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    if (r.is_null()) return;  // null requests only appear inside new-view
+
+    if (is_primary()) {
+        assign_and_propose(r);
+        return;
+    }
+
+    // Backup: forward to the primary once; optionally time the primary.
+    const crypto::Digest digest = r.digest();
+    if (known_requests_.contains(digest) || request_timers_.contains(digest)) return;
+    (void)from;
+    transport_.send(primary(), Message{r});
+    if (config_.request_timeout > Duration::zero()) {
+        request_timers_[digest] = sim_.schedule(config_.request_timeout, [this, digest] {
+            request_timers_.erase(digest);
+            if (!knows_request(digest)) suspect();
+        });
+    }
+}
+
+void Replica::handle(NodeId from, const PrePrepare& pp) {
+    if (in_view_change_ || pp.view != view_) return;
+    if (pp.primary != primary_of(pp.view) || from != pp.primary) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    if (pp.seq <= last_exec_ || !in_watermarks(pp.seq)) return;
+
+    const crypto::Digest expected =
+        pp.request.is_null() ? Request::null().digest() : pp.request.digest();
+    if (pp.req_digest != expected) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    if (!crypto_.verify(pp.primary, pp.signing_bytes(), pp.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    if (!pp.request.is_null() &&
+        !crypto_.verify(pp.request.origin, pp.request.signing_bytes(), pp.request.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+
+    accept_preprepare(pp);
+}
+
+void Replica::accept_preprepare(const PrePrepare& pp) {
+    Slot& s = slot(pp.seq);
+    if (s.preprepare) {
+        if (s.preprepare->req_digest != pp.req_digest) {
+            // Equivocation by the primary: two requests for one seq.
+            ZC_WARN("pbft", "replica {} sees equivocating preprepare at seq {}", config_.id,
+                    pp.seq);
+            suspect();
+        }
+        return;
+    }
+    s.preprepare = pp;
+    account_slot_bytes(s, pp.request.size_bytes() + 96);
+    if (!pp.request.is_null()) known_requests_[pp.req_digest] = pp.seq;
+
+    app_.preprepared(pp.request);
+
+    if (primary_of(view_) != config_.id) {
+        Prepare p;
+        p.view = pp.view;
+        p.seq = pp.seq;
+        p.req_digest = pp.req_digest;
+        p.replica = config_.id;
+        p.sig = crypto_.sign(p.signing_bytes());
+        s.prepares[config_.id] = p;
+        account_slot_bytes(s, kPhaseMsgBytes);
+        stats_.prepares_sent += 1;
+        transport_.broadcast(Message{p});
+    }
+    maybe_prepared(pp.seq);
+}
+
+void Replica::handle(NodeId from, const Prepare& p) {
+    if (in_view_change_ || p.view != view_) return;
+    if (p.replica != from || p.replica == primary_of(p.view)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    if (p.seq <= last_exec_ || !in_watermarks(p.seq)) return;
+    if (!crypto_.verify(p.replica, p.signing_bytes(), p.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    Slot& s = slot(p.seq);
+    if (s.prepares.contains(p.replica)) return;
+    s.prepares[p.replica] = p;
+    account_slot_bytes(s, kPhaseMsgBytes);
+    maybe_prepared(p.seq);
+}
+
+void Replica::maybe_prepared(SeqNo seq) {
+    Slot& s = slot(seq);
+    if (!s.preprepare || s.commit_sent) return;
+    std::uint32_t matching = 0;
+    for (const auto& [id, p] : s.prepares) {
+        if (p.req_digest == s.preprepare->req_digest && p.view == s.preprepare->view) ++matching;
+    }
+    if (matching < 2 * config_.f) return;
+
+    s.commit_sent = true;
+    Commit c;
+    c.view = s.preprepare->view;
+    c.seq = seq;
+    c.req_digest = s.preprepare->req_digest;
+    c.replica = config_.id;
+    c.sig = crypto_.sign(c.signing_bytes());
+    s.commits[config_.id] = c;
+    account_slot_bytes(s, kPhaseMsgBytes);
+    stats_.commits_sent += 1;
+    transport_.broadcast(Message{c});
+    maybe_committed(seq);
+}
+
+void Replica::handle(NodeId from, const Commit& c) {
+    if (in_view_change_ || c.view != view_) return;
+    if (c.replica != from) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    if (c.seq <= last_exec_ || !in_watermarks(c.seq)) return;
+    if (!crypto_.verify(c.replica, c.signing_bytes(), c.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    Slot& s = slot(c.seq);
+    if (s.commits.contains(c.replica)) return;
+    s.commits[c.replica] = c;
+    account_slot_bytes(s, kPhaseMsgBytes);
+    maybe_committed(c.seq);
+}
+
+void Replica::maybe_committed(SeqNo seq) {
+    Slot& s = slot(seq);
+    if (!s.preprepare || !s.commit_sent || s.executed) return;
+    std::uint32_t matching = 0;
+    for (const auto& [id, c] : s.commits) {
+        if (c.req_digest == s.preprepare->req_digest) ++matching;
+    }
+    if (matching < quorum()) return;
+    execute_ready();
+}
+
+void Replica::execute_ready() {
+    for (;;) {
+        const auto it = log_.find(last_exec_ + 1);
+        if (it == log_.end()) return;
+        Slot& s = it->second;
+        if (!s.preprepare || !s.commit_sent || s.executed) return;
+        std::uint32_t matching = 0;
+        for (const auto& [id, c] : s.commits) {
+            if (c.req_digest == s.preprepare->req_digest) ++matching;
+        }
+        if (matching < quorum()) return;
+        s.executed = true;
+        execute(it->first, s.preprepare->request);
+    }
+}
+
+void Replica::execute(SeqNo seq, const Request& request) {
+    last_exec_ = seq;
+    stats_.decided += 1;
+
+    if (!request.is_null()) {
+        const auto timer = request_timers_.find(request.digest());
+        if (timer != request_timers_.end()) {
+            sim_.cancel(timer->second);
+            request_timers_.erase(timer);
+        }
+    }
+
+    app_.deliver(request, seq);
+
+    if (seq % config_.checkpoint_interval == 0) emit_checkpoint(seq);
+}
+
+// ---- checkpoints -------------------------------------------------------
+
+void Replica::emit_checkpoint(SeqNo seq) {
+    Checkpoint c;
+    c.seq = seq;
+    c.state = app_.state_digest(seq);
+    c.replica = config_.id;
+    c.sig = crypto_.sign(c.signing_bytes());
+    own_checkpoint_digest_[seq] = c.state;
+    store_checkpoint(c);
+    transport_.broadcast(Message{c});
+}
+
+void Replica::handle(NodeId from, const Checkpoint& c) {
+    if (c.replica != from) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    if (c.seq <= last_stable_) return;
+    if (!crypto_.verify(c.replica, c.signing_bytes(), c.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    store_checkpoint(c);
+}
+
+void Replica::store_checkpoint(const Checkpoint& c) {
+    auto& by_replica = checkpoints_[c.seq][c.state];
+    by_replica[c.replica] = c;
+    if (by_replica.size() >= quorum()) make_stable(c.seq, c.state);
+}
+
+void Replica::make_stable(SeqNo seq, const crypto::Digest& state) {
+    if (stable_proofs_.contains(seq)) return;
+
+    CheckpointProof proof;
+    proof.seq = seq;
+    proof.state = state;
+    for (const auto& [id, msg] : checkpoints_[seq][state]) proof.messages.push_back(msg);
+    stable_proofs_[seq] = std::move(proof);
+    while (stable_proofs_.size() > config_.proof_retention) {
+        stable_proofs_.erase(stable_proofs_.begin());
+    }
+    stats_.checkpoints_stable += 1;
+
+    if (seq > last_stable_) {
+        last_stable_ = seq;
+
+        if (seq > last_exec_) {
+            // We are behind the quorum: state-transfer instead of replay.
+            app_.sync_state(seq, state);
+            for (auto it = log_.begin(); it != log_.end() && it->first <= seq; ++it) {
+                it->second.executed = true;
+            }
+            last_exec_ = seq;
+        }
+        garbage_collect(seq);
+        app_.stable_checkpoint(seq, stable_proofs_[seq]);
+        if (primary() == config_.id && next_seq_ <= seq) next_seq_ = seq + 1;
+        drain_pending();
+    }
+}
+
+void Replica::garbage_collect(SeqNo stable_seq) {
+    for (auto it = log_.begin(); it != log_.end() && it->first <= stable_seq;) {
+        if (log_gauge_) log_gauge_->add(-static_cast<std::int64_t>(it->second.bytes));
+        it = log_.erase(it);
+    }
+    for (auto it = checkpoints_.begin();
+         it != checkpoints_.end() && it->first <= stable_seq;) {
+        it = checkpoints_.erase(it);
+    }
+    // Dedup digests: retain one extra watermark window so late client
+    // retransmissions of decided requests are still recognized.
+    const SeqNo horizon =
+        stable_seq > config_.watermark_window ? stable_seq - config_.watermark_window : 0;
+    std::erase_if(known_requests_, [horizon](const auto& kv) { return kv.second <= horizon; });
+}
+
+// ---- view change -------------------------------------------------------
+
+void Replica::start_view_change(View target) {
+    if (target <= view_) return;
+    in_view_change_ = true;
+    vc_target_ = target;
+    stats_.view_changes_started += 1;
+    if (vc_timer_ != sim::kInvalidEvent) sim_.cancel(vc_timer_);
+
+    ViewChange vc = build_view_change(target);
+    view_changes_[target][config_.id] = vc;
+    transport_.broadcast(Message{vc});
+    arm_view_change_timer(target);
+    maybe_assemble_new_view(target);
+}
+
+ViewChange Replica::build_view_change(View target) {
+    ViewChange vc;
+    vc.new_view = target;
+    vc.last_stable = last_stable_;
+    if (last_stable_ > 0) {
+        const CheckpointProof* proof = stable_proof(last_stable_);
+        if (proof != nullptr) vc.stable_proof = *proof;
+    }
+    for (const auto& [seq, s] : log_) {
+        if (seq <= last_stable_ || !s.preprepare) continue;
+        std::vector<Prepare> matching;
+        for (const auto& [id, p] : s.prepares) {
+            if (p.req_digest == s.preprepare->req_digest) matching.push_back(p);
+        }
+        if (matching.size() < 2 * config_.f) continue;
+        matching.resize(2 * config_.f);
+        vc.prepared.push_back(PreparedProof{*s.preprepare, std::move(matching)});
+    }
+    vc.replica = config_.id;
+    vc.sig = crypto_.sign(vc.signing_bytes());
+    return vc;
+}
+
+bool Replica::validate_checkpoint_proof(const CheckpointProof& proof) {
+    std::set<NodeId> signers;
+    for (const Checkpoint& c : proof.messages) {
+        if (c.seq != proof.seq || c.state != proof.state) return false;
+        if (!crypto_.verify(c.replica, c.signing_bytes(), c.sig)) return false;
+        signers.insert(c.replica);
+    }
+    return signers.size() >= quorum();
+}
+
+bool Replica::validate_prepared_proof(const PreparedProof& proof) {
+    const PrePrepare& pp = proof.preprepare;
+    if (pp.primary != primary_of(pp.view)) return false;
+    const crypto::Digest expected =
+        pp.request.is_null() ? Request::null().digest() : pp.request.digest();
+    if (pp.req_digest != expected) return false;
+    if (!crypto_.verify(pp.primary, pp.signing_bytes(), pp.sig)) return false;
+
+    std::set<NodeId> signers;
+    for (const Prepare& p : proof.prepares) {
+        if (p.view != pp.view || p.seq != pp.seq || p.req_digest != pp.req_digest) return false;
+        if (p.replica == pp.primary) return false;
+        if (!crypto_.verify(p.replica, p.signing_bytes(), p.sig)) return false;
+        signers.insert(p.replica);
+    }
+    return signers.size() >= 2 * config_.f;
+}
+
+bool Replica::validate_view_change(const ViewChange& vc) {
+    if (!crypto_.verify(vc.replica, vc.signing_bytes(), vc.sig)) return false;
+    if (vc.last_stable > 0) {
+        if (!vc.stable_proof) return false;
+        if (vc.stable_proof->seq != vc.last_stable) return false;
+        if (!validate_checkpoint_proof(*vc.stable_proof)) return false;
+    }
+    for (const PreparedProof& proof : vc.prepared) {
+        if (proof.preprepare.seq <= vc.last_stable) return false;
+        if (proof.preprepare.view >= vc.new_view) return false;
+        if (!validate_prepared_proof(proof)) return false;
+    }
+    return true;
+}
+
+void Replica::handle(NodeId from, const ViewChange& vc) {
+    if (vc.replica != from || vc.new_view <= view_) return;
+    if (view_changes_[vc.new_view].contains(vc.replica)) return;
+    if (!validate_view_change(vc)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    view_changes_[vc.new_view][vc.replica] = vc;
+
+    // Liveness joining: f+1 distinct replicas claiming views above ours.
+    const View floor = in_view_change_ ? vc_target_ : view_;
+    std::map<View, std::set<NodeId>> senders_above;
+    for (const auto& [v, by_replica] : view_changes_) {
+        if (v <= floor) continue;
+        for (const auto& [id, msg] : by_replica) senders_above[v].insert(id);
+    }
+    std::set<NodeId> all_senders;
+    View smallest_above = 0;
+    for (const auto& [v, senders] : senders_above) {
+        for (NodeId id : senders) all_senders.insert(id);
+        if (smallest_above == 0) smallest_above = v;
+    }
+    if (all_senders.size() >= config_.f + 1 && smallest_above > floor) {
+        start_view_change(smallest_above);
+    }
+
+    maybe_assemble_new_view(vc.new_view);
+}
+
+std::vector<PrePrepare> Replica::compute_reproposals(View v, const std::vector<ViewChange>& vcs,
+                                                     SeqNo& min_s_out, SeqNo& max_s_out,
+                                                     bool sign_them) {
+    SeqNo min_s = 0, max_s = 0;
+    for (const ViewChange& vc : vcs) {
+        min_s = std::max(min_s, vc.last_stable);
+        for (const PreparedProof& p : vc.prepared) max_s = std::max(max_s, p.preprepare.seq);
+    }
+    max_s = std::max(max_s, min_s);
+    min_s_out = min_s;
+    max_s_out = max_s;
+
+    std::vector<PrePrepare> out;
+    for (SeqNo seq = min_s + 1; seq <= max_s; ++seq) {
+        const PreparedProof* best = nullptr;
+        for (const ViewChange& vc : vcs) {
+            for (const PreparedProof& p : vc.prepared) {
+                if (p.preprepare.seq != seq) continue;
+                if (best == nullptr || p.preprepare.view > best->preprepare.view) best = &p;
+            }
+        }
+        PrePrepare pp;
+        pp.view = v;
+        pp.seq = seq;
+        pp.primary = primary_of(v);
+        if (best != nullptr) {
+            pp.request = best->preprepare.request;
+            pp.req_digest = best->preprepare.req_digest;
+        } else {
+            pp.request = Request::null();
+            pp.req_digest = Request::null().digest();
+        }
+        if (sign_them) pp.sig = crypto_.sign(pp.signing_bytes());
+        out.push_back(std::move(pp));
+    }
+    return out;
+}
+
+void Replica::maybe_assemble_new_view(View target) {
+    if (primary_of(target) != config_.id || view_ >= target) return;
+    const auto it = view_changes_.find(target);
+    if (it == view_changes_.end() || !it->second.contains(config_.id)) return;
+    if (it->second.size() < quorum()) return;
+
+    std::vector<ViewChange> vcs;
+    for (const auto& [id, vc] : it->second) vcs.push_back(vc);
+
+    NewView nv;
+    nv.view = target;
+    nv.view_changes = vcs;
+    SeqNo min_s = 0, max_s = 0;
+    nv.reproposals = compute_reproposals(target, vcs, min_s, max_s, /*sign_them=*/true);
+    nv.primary = config_.id;
+    nv.sig = crypto_.sign(nv.signing_bytes());
+    transport_.broadcast(Message{nv});
+
+    // Adopt the highest stable checkpoint among the VCs if we are behind.
+    if (min_s > last_stable_) {
+        for (const ViewChange& vc : vcs) {
+            if (vc.last_stable == min_s && vc.stable_proof) {
+                stable_proofs_[min_s] = *vc.stable_proof;
+                break;
+            }
+        }
+        if (min_s > last_exec_) {
+            const auto proof = stable_proofs_.find(min_s);
+            if (proof != stable_proofs_.end()) app_.sync_state(min_s, proof->second.state);
+            last_exec_ = min_s;
+        }
+        last_stable_ = min_s;
+        garbage_collect(min_s);
+    }
+
+    enter_view(target);
+    next_seq_ = max_s + 1;
+    install_reproposals(nv.reproposals);
+    stats_.new_views_installed += 1;
+    app_.new_primary(target, config_.id);
+    drain_pending();
+}
+
+void Replica::handle(NodeId from, const NewView& nv) {
+    if (nv.view < view_ || (nv.view == view_ && !in_view_change_)) return;
+    if (nv.primary != primary_of(nv.view) || from != nv.primary) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    if (nv.primary == config_.id) return;
+    if (!crypto_.verify(nv.primary, nv.signing_bytes(), nv.sig)) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+
+    std::set<NodeId> vc_senders;
+    for (const ViewChange& vc : nv.view_changes) {
+        if (vc.new_view != nv.view || !validate_view_change(vc)) {
+            stats_.invalid_messages += 1;
+            return;
+        }
+        vc_senders.insert(vc.replica);
+    }
+    if (vc_senders.size() < quorum()) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+
+    // Recompute O and compare field-wise; verify the primary's signatures.
+    SeqNo min_s = 0, max_s = 0;
+    const std::vector<PrePrepare> expected =
+        compute_reproposals(nv.view, nv.view_changes, min_s, max_s, /*sign_them=*/false);
+    if (expected.size() != nv.reproposals.size()) {
+        stats_.invalid_messages += 1;
+        return;
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const PrePrepare& got = nv.reproposals[i];
+        const PrePrepare& want = expected[i];
+        if (got.view != want.view || got.seq != want.seq || got.req_digest != want.req_digest ||
+            got.primary != want.primary) {
+            stats_.invalid_messages += 1;
+            return;
+        }
+        if (!crypto_.verify(got.primary, got.signing_bytes(), got.sig)) {
+            stats_.invalid_messages += 1;
+            return;
+        }
+    }
+
+    // Adopt a newer stable checkpoint if the quorum is ahead of us.
+    if (min_s > last_stable_) {
+        for (const ViewChange& vc : nv.view_changes) {
+            if (vc.last_stable == min_s && vc.stable_proof) {
+                stable_proofs_[min_s] = *vc.stable_proof;
+                break;
+            }
+        }
+        if (min_s > last_exec_) {
+            const auto proof = stable_proofs_.find(min_s);
+            if (proof != stable_proofs_.end()) app_.sync_state(min_s, proof->second.state);
+            last_exec_ = min_s;
+        }
+        last_stable_ = min_s;
+        garbage_collect(min_s);
+    }
+
+    enter_view(nv.view);
+    install_reproposals(nv.reproposals);
+    stats_.new_views_installed += 1;
+    app_.new_primary(nv.view, nv.primary);
+}
+
+void Replica::enter_view(View v) {
+    view_ = v;
+    in_view_change_ = false;
+    vc_target_ = 0;
+    vc_attempts_ = 0;
+    if (vc_timer_ != sim::kInvalidEvent) {
+        sim_.cancel(vc_timer_);
+        vc_timer_ = sim::kInvalidEvent;
+    }
+
+    // Give the new primary a fresh grace period: request timers armed
+    // under the old primary would otherwise expire immediately after the
+    // view change and trigger a suspicion storm.
+    for (auto& [digest, timer] : request_timers_) {
+        sim_.cancel(timer);
+        const crypto::Digest d = digest;
+        timer = sim_.schedule(config_.request_timeout, [this, d] {
+            request_timers_.erase(d);
+            if (!knows_request(d)) suspect();
+        });
+    }
+    for (auto it = view_changes_.begin(); it != view_changes_.end() && it->first <= v;) {
+        it = view_changes_.erase(it);
+    }
+
+    // Drop non-executed slots: the new-view reproposals are authoritative
+    // for the old window; everything else is re-proposed by the layer.
+    for (auto it = log_.begin(); it != log_.end();) {
+        if (it->first > last_exec_ && !it->second.executed) {
+            if (log_gauge_) log_gauge_->add(-static_cast<std::int64_t>(it->second.bytes));
+            it = log_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    std::erase_if(known_requests_,
+                  [this](const auto& kv) { return kv.second > last_exec_; });
+}
+
+void Replica::install_reproposals(const std::vector<PrePrepare>& reproposals) {
+    for (const PrePrepare& pp : reproposals) {
+        if (pp.seq <= last_exec_) continue;
+        accept_preprepare(pp);
+    }
+}
+
+void Replica::arm_view_change_timer(View target) {
+    // Exponential backoff (as in PBFT): each unsuccessful attempt doubles
+    // the wait for the next view, bounding the view-change message load
+    // while the network is partitioned or a quorum is unreachable.
+    const int exponent = static_cast<int>(std::min<std::uint32_t>(vc_attempts_, 6));
+    const Duration timeout = config_.view_change_timeout * (1ll << exponent);
+    vc_attempts_ += 1;
+    vc_timer_ = sim_.schedule(timeout, [this, target] {
+        vc_timer_ = sim::kInvalidEvent;
+        if (in_view_change_ && vc_target_ == target) start_view_change(target + 1);
+    });
+}
+
+}  // namespace zc::pbft

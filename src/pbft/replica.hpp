@@ -1,0 +1,254 @@
+// PBFT replica state machine (Castro & Liskov), event-driven on virtual
+// time. Implements the ordering (preprepare/prepare/commit), per-block
+// checkpointing, and view-change subprotocols, and exposes the interface
+// the paper's Tab. I requires from the BFT module:
+//
+//     down:  Propose(r)        -> propose()
+//            Suspect(id)       -> suspect()
+//     up:    Decide(r, sn)     -> Application::deliver()
+//            NewPrimary        -> Application::new_primary()
+//
+// plus a preprepare indication upcall (the paper's optimization letting
+// the ZugChain layer cancel soft timeouts when the primary's preprepare
+// for a request is observed).
+//
+// The replica is transport-agnostic: it emits messages through Transport
+// and is fed through on_message(); the runtime layer does (de)serialization
+// and CPU accounting. All signatures go through crypto::CryptoContext and
+// are therefore metered.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/time.hpp"
+#include "crypto/context.hpp"
+#include "metrics/memory.hpp"
+#include "pbft/messages.hpp"
+#include "sim/simulation.hpp"
+
+namespace zc::pbft {
+
+/// Outbound message sink, implemented by the node runtime.
+class Transport {
+public:
+    virtual ~Transport() = default;
+    virtual void send(NodeId to, const Message& m) = 0;
+    /// Sends to every replica except the local one.
+    virtual void broadcast(const Message& m) = 0;
+};
+
+/// Upcalls into the replicated application (the blockchain layer).
+class Application {
+public:
+    virtual ~Application() = default;
+
+    /// Totally ordered request (the DECIDE upcall). Called in strict seq
+    /// order; null requests (view-change gap fillers) are delivered too and
+    /// must be skipped content-wise by the application.
+    virtual void deliver(const Request& request, SeqNo seq) = 0;
+
+    /// Application state digest after executing `seq` (the chain head hash
+    /// once the block for this checkpoint window has been built).
+    virtual crypto::Digest state_digest(SeqNo seq) = 0;
+
+    /// A view change completed; `primary` leads `view`.
+    virtual void new_primary(View view, NodeId primary) = 0;
+
+    /// A checkpoint became stable (2f+1 signatures collected).
+    virtual void stable_checkpoint(SeqNo seq, const CheckpointProof& proof) { (void)seq; (void)proof; }
+
+    /// The primary's preprepare for `request` was accepted (optimization
+    /// hook for the ZugChain layer's soft timers).
+    virtual void preprepared(const Request& request) { (void)request; }
+
+    /// The replica is behind a stable checkpoint at `seq` with app state
+    /// `state` and cannot catch up by ordering alone; the application must
+    /// perform state transfer (fetch blocks from peers, paper §III-D
+    /// discussion (ii)) and then consider `seq` executed.
+    virtual void sync_state(SeqNo seq, const crypto::Digest& state) { (void)seq; (void)state; }
+};
+
+struct ReplicaConfig {
+    NodeId id = 0;
+    std::uint32_t n = 4;
+    std::uint32_t f = 1;
+
+    /// Checkpoint every this many sequence numbers (= the block size).
+    SeqNo checkpoint_interval = 10;
+
+    /// High watermark = last stable + window.
+    SeqNo watermark_window = 200;
+
+    /// Baseline mode: a backup receiving a forwarded Request starts this
+    /// timer and suspects the primary on expiry. Zero disables (ZugChain
+    /// supplies its own soft/hard timers in the communication layer).
+    Duration request_timeout{0};
+
+    /// Retry cadence: after broadcasting a view change, escalate to the
+    /// next view if no new view arrives in time.
+    Duration view_change_timeout{milliseconds(2000)};
+
+    /// Honest primaries refuse to assign a second sequence number to a
+    /// request digest that is in flight or recently decided. Disabled when
+    /// simulating a faulty primary that proposes duplicates.
+    bool dedup_proposals = true;
+
+    /// How many stable checkpoint proofs to retain for the export protocol.
+    std::size_t proof_retention = 64;
+};
+
+/// Counters exposed for tests and benchmarks.
+struct ReplicaStats {
+    std::uint64_t proposals = 0;
+    std::uint64_t preprepares_sent = 0;
+    std::uint64_t prepares_sent = 0;
+    std::uint64_t commits_sent = 0;
+    std::uint64_t decided = 0;
+    std::uint64_t checkpoints_stable = 0;
+    std::uint64_t view_changes_started = 0;
+    std::uint64_t new_views_installed = 0;
+    std::uint64_t invalid_messages = 0;
+    std::uint64_t duplicate_proposals_blocked = 0;
+};
+
+class Replica {
+public:
+    Replica(ReplicaConfig config, sim::Simulation& sim, crypto::CryptoContext& crypto,
+            Transport& transport, Application& app, metrics::Gauge* log_gauge = nullptr);
+
+    // -- downcalls (Tab. I, interface 1) --------------------------------
+
+    /// Proposes a request for total ordering. On the primary, assigns a
+    /// sequence number and broadcasts the preprepare (or queues it until
+    /// the watermark window opens). On a backup, forwards the request to
+    /// the primary and, if `request_timeout` is enabled, starts a timer
+    /// whose expiry suspects the primary. Returns false if dropped
+    /// (duplicate or mid view change).
+    bool propose(const Request& request);
+
+    /// Local suspicion of the current primary: initiate a view change.
+    void suspect();
+
+    /// Feeds a received protocol message (after transport-level decode).
+    void on_message(NodeId from, const Message& m);
+
+    // -- observers -------------------------------------------------------
+
+    View view() const noexcept { return view_; }
+    NodeId primary() const noexcept { return primary_of(view_); }
+    NodeId primary_of(View v) const noexcept { return static_cast<NodeId>(v % config_.n); }
+    bool is_primary() const noexcept { return primary() == config_.id && !in_view_change_; }
+    bool in_view_change() const noexcept { return in_view_change_; }
+    SeqNo last_executed() const noexcept { return last_exec_; }
+    SeqNo last_stable() const noexcept { return last_stable_; }
+    const ReplicaStats& stats() const noexcept { return stats_; }
+
+    /// Latest stable checkpoint proof, or nullptr before the first one.
+    const CheckpointProof* latest_stable_proof() const;
+
+    /// Proof for a specific checkpoint seq if retained.
+    const CheckpointProof* stable_proof(SeqNo seq) const;
+
+    /// True if `digest` is a currently in-flight or recently decided
+    /// request digest (PBFT-level dedup state; exposed for tests).
+    bool knows_request(const crypto::Digest& digest) const;
+
+    /// Requests preprepared but not yet executed (running instances).
+    std::vector<Request> inflight_requests() const;
+
+private:
+    struct Slot {
+        std::optional<PrePrepare> preprepare;
+        std::map<NodeId, Prepare> prepares;
+        std::map<NodeId, Commit> commits;
+        bool commit_sent = false;
+        bool executed = false;
+        std::size_t bytes = 0;
+    };
+
+    // message handlers
+    void handle(NodeId from, const Request& r);
+    void handle(NodeId from, const PrePrepare& pp);
+    void handle(NodeId from, const Prepare& p);
+    void handle(NodeId from, const Commit& c);
+    void handle(NodeId from, const Checkpoint& c);
+    void handle(NodeId from, const ViewChange& vc);
+    void handle(NodeId from, const NewView& nv);
+
+    // ordering
+    bool assign_and_propose(const Request& request);
+    void drain_pending();
+    void accept_preprepare(const PrePrepare& pp);
+    void maybe_prepared(SeqNo seq);
+    void maybe_committed(SeqNo seq);
+    void execute_ready();
+    void execute(SeqNo seq, const Request& request);
+
+    // checkpoints
+    void emit_checkpoint(SeqNo seq);
+    void store_checkpoint(const Checkpoint& c);
+    void make_stable(SeqNo seq, const crypto::Digest& state);
+    void garbage_collect(SeqNo stable_seq);
+
+    // view change
+    void start_view_change(View target);
+    ViewChange build_view_change(View target);
+    bool validate_view_change(const ViewChange& vc);
+    bool validate_prepared_proof(const PreparedProof& proof);
+    bool validate_checkpoint_proof(const CheckpointProof& proof);
+    void maybe_assemble_new_view(View target);
+    std::vector<PrePrepare> compute_reproposals(View v,
+                                                const std::vector<ViewChange>& vcs,
+                                                SeqNo& min_s_out, SeqNo& max_s_out,
+                                                bool sign_them);
+    void enter_view(View v);
+    void install_reproposals(const std::vector<PrePrepare>& reproposals);
+    void arm_view_change_timer(View target);
+
+    bool in_watermarks(SeqNo seq) const noexcept;
+    Slot& slot(SeqNo seq);
+    void account_slot_bytes(Slot& s, std::size_t bytes);
+    std::uint32_t quorum() const noexcept { return 2 * config_.f + 1; }
+
+    ReplicaConfig config_;
+    sim::Simulation& sim_;
+    crypto::CryptoContext& crypto_;
+    Transport& transport_;
+    Application& app_;
+    metrics::Gauge* log_gauge_;
+
+    View view_ = 0;
+    bool in_view_change_ = false;
+    View vc_target_ = 0;
+    SeqNo next_seq_ = 1;       // next seq the primary assigns
+    SeqNo last_exec_ = 0;
+    SeqNo last_stable_ = 0;
+
+    std::map<SeqNo, Slot> log_;
+    std::map<SeqNo, Request> decided_requests_;  // for app replay on execute gaps
+
+    // PBFT-level request dedup: full-request digests in flight or decided.
+    std::unordered_map<crypto::Digest, SeqNo, crypto::DigestHash> known_requests_;
+
+    std::deque<Request> pending_;  // watermark-blocked proposals (primary)
+
+    // checkpoints: seq -> state digest -> replica -> message
+    std::map<SeqNo, std::map<crypto::Digest, std::map<NodeId, Checkpoint>>> checkpoints_;
+    std::map<SeqNo, crypto::Digest> own_checkpoint_digest_;
+    std::map<SeqNo, CheckpointProof> stable_proofs_;
+
+    // view change state: target view -> replica -> message
+    std::map<View, std::map<NodeId, ViewChange>> view_changes_;
+    sim::EventId vc_timer_ = sim::kInvalidEvent;
+    std::uint32_t vc_attempts_ = 0;  // consecutive unsuccessful attempts (backoff)
+
+    // baseline request timers: request digest -> timer
+    std::unordered_map<crypto::Digest, sim::EventId, crypto::DigestHash> request_timers_;
+
+    ReplicaStats stats_;
+};
+
+}  // namespace zc::pbft

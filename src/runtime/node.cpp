@@ -1,0 +1,382 @@
+#include "runtime/node.hpp"
+
+#include "common/log.hpp"
+#include "crypto/sha256.hpp"
+#include "zugchain/wire.hpp"
+
+namespace zc::runtime {
+
+/// Data centers occupy endpoint ids kDcEndpointBase + dc.
+inline constexpr net::EndpointId kDcEndpointBase = 100;
+
+// ---- adapters -----------------------------------------------------------
+
+struct Node::PbftTransportAdapter final : pbft::Transport {
+    explicit PbftTransportAdapter(Node& node) : node(node) {}
+
+    void send(NodeId to, const pbft::Message& m) override {
+        if (!apply_byzantine(m, to)) return;
+        node.send_enveloped(to, Channel::kPbft, pbft::encode_message(m));
+    }
+
+    void broadcast(const pbft::Message& m) override {
+        for (std::uint32_t i = 0; i < node.options_.n; ++i) {
+            if (i == node.options_.id) continue;
+            send(i, m);
+        }
+    }
+
+    /// Returns false if the message should be suppressed; may reschedule
+    /// delayed preprepares itself.
+    bool apply_byzantine(const pbft::Message& m, NodeId to) {
+        const ByzantineBehavior& byz = node.options_.byzantine;
+        if (byz.mute) return false;
+        if (!std::holds_alternative<pbft::PrePrepare>(m)) return true;
+        if (byz.drop_preprepares) return false;
+        if (byz.preprepare_delay > Duration::zero()) {
+            node.sim_.schedule(byz.preprepare_delay, [this, m, to] {
+                if (node.alive_) {
+                    node.send_enveloped(to, Channel::kPbft, pbft::encode_message(m));
+                }
+            });
+            return false;
+        }
+        return true;
+    }
+
+    Node& node;
+};
+
+struct Node::LayerTransportAdapter final : zugchain::LayerTransport {
+    explicit LayerTransportAdapter(Node& node) : node(node) {}
+
+    void broadcast(const pbft::Request& request) override {
+        const Bytes body =
+            zugchain::encode_peer_request(zugchain::PeerRequest{request, /*forwarded=*/false});
+        for (std::uint32_t i = 0; i < node.options_.n; ++i) {
+            if (i == node.options_.id) continue;
+            node.send_enveloped(i, Channel::kLayer, body);
+        }
+    }
+
+    void forward(NodeId to, const pbft::Request& request) override {
+        if (to == node.options_.id) return;
+        node.send_enveloped(
+            to, Channel::kLayer,
+            zugchain::encode_peer_request(zugchain::PeerRequest{request, /*forwarded=*/true}));
+    }
+
+    Node& node;
+};
+
+struct Node::ConsensusAdapter final : zugchain::ConsensusHandle {
+    explicit ConsensusAdapter(Node& node) : node(node) {}
+    bool propose(const pbft::Request& request) override { return node.replica_->propose(request); }
+    void suspect() override { node.replica_->suspect(); }
+    std::vector<pbft::Request> inflight_requests() const override {
+        return node.replica_->inflight_requests();
+    }
+    Node& node;
+};
+
+/// LOG sink for ZugChain mode: records latency, feeds the chain.
+struct Node::LogShim final : zugchain::LogSink {
+    explicit LogShim(Node& node) : node(node) {}
+    void log(const pbft::Request& request, NodeId origin, SeqNo seq) override {
+        node.record_logged(request);
+        node.chain_app_->log(request, origin, seq);
+    }
+    Node& node;
+};
+
+/// The replica's application in both modes: routes upcalls to the layer or
+/// the baseline stack and keeps the export server informed of new blocks.
+struct Node::AppShim final : pbft::Application {
+    explicit AppShim(Node& node) : node(node) {}
+
+    void deliver(const pbft::Request& request, SeqNo seq) override {
+        if (node.options_.mode == Mode::kZugChain) {
+            node.layer_->deliver(request, seq);
+        } else {
+            if (!request.is_null()) node.record_logged(request);
+            node.baseline_app_->deliver(request, seq);
+        }
+    }
+
+    crypto::Digest state_digest(SeqNo seq) override {
+        const crypto::Digest digest = node.chain_app_->state_digest(seq);
+        node.export_server_->on_new_block();
+        return digest;
+    }
+
+    void new_primary(View view, NodeId primary) override {
+        if (node.options_.mode == Mode::kZugChain) {
+            node.layer_->new_primary(view, primary);
+        } else {
+            node.baseline_app_->new_primary(view, primary);
+        }
+    }
+
+    void stable_checkpoint(SeqNo seq, const pbft::CheckpointProof& proof) override {
+        if (node.options_.mode == Mode::kZugChain) node.layer_->stable_checkpoint(seq, proof);
+    }
+
+    void preprepared(const pbft::Request& request) override {
+        if (node.options_.mode == Mode::kZugChain) node.layer_->preprepared(request);
+    }
+
+    void sync_state(SeqNo seq, const crypto::Digest& state) override {
+        node.chain_app_->sync_state(seq, state);
+    }
+
+    Node& node;
+};
+
+struct Node::ExportTransportAdapter final : exporter::ServerTransport {
+    explicit ExportTransportAdapter(Node& node) : node(node) {}
+    void to_data_center(DataCenterId dc, const exporter::ExportMessage& m) override {
+        node.send_enveloped(kDcEndpointBase + dc, Channel::kExport,
+                            exporter::encode_export_message(m));
+    }
+    Node& node;
+};
+
+struct Node::ClientSenderAdapter final : baseline::ClientSender {
+    explicit ClientSenderAdapter(Node& node) : node(node) {}
+
+    void to_primary(const pbft::Request& request) override {
+        const NodeId primary = node.replica_->primary();
+        if (primary == node.options_.id) {
+            node.replica_->propose(request);
+        } else {
+            node.send_enveloped(primary, Channel::kPbft,
+                                pbft::encode_message(pbft::Message{request}));
+        }
+    }
+
+    void to_all(const pbft::Request& request) override {
+        const Bytes body = pbft::encode_message(pbft::Message{request});
+        for (std::uint32_t i = 0; i < node.options_.n; ++i) {
+            if (i == node.options_.id) {
+                node.replica_->propose(request);
+            } else {
+                node.send_enveloped(i, Channel::kPbft, body);
+            }
+        }
+    }
+
+    Node& node;
+};
+
+// ---- Node ---------------------------------------------------------------
+
+Node::Node(NodeOptions options, sim::Simulation& sim, net::Network& network,
+           crypto::CryptoProvider& provider, const crypto::KeyDirectory& directory,
+           crypto::KeyPair key, const metrics::CostModel& costs)
+    : options_(options), sim_(sim), network_(network), costs_(costs),
+      store_(memory_.gauge("chain"), options.store_dir),
+      byz_rng_(sim.rng().fork("byz-" + std::to_string(options.id))) {
+    crypto_ = std::make_unique<crypto::CryptoContext>(provider, directory, std::move(key), costs,
+                                                      meter_);
+    executor_ = std::make_unique<sim::MeteredExecutor>(sim, options_.protocol_cores,
+                                                       options_.rx_queue_limit);
+    rx_gauge_ = memory_.gauge("rx-queue");
+
+    pbft_transport_ = std::make_unique<PbftTransportAdapter>(*this);
+    export_transport_ = std::make_unique<ExportTransportAdapter>(*this);
+    app_shim_ = std::make_unique<AppShim>(*this);
+
+    chain_app_ = std::make_unique<zugchain::ChainApp>(store_, *crypto_, options_.block_size);
+
+    pbft::ReplicaConfig rcfg;
+    rcfg.id = options_.id;
+    rcfg.n = options_.n;
+    rcfg.f = options_.f;
+    rcfg.checkpoint_interval = options_.block_size;
+    rcfg.view_change_timeout = options_.view_change_timeout;
+    rcfg.request_timeout =
+        options_.mode == Mode::kBaseline ? options_.request_timeout : Duration::zero();
+    rcfg.dedup_proposals = options_.byzantine.duplicate_rate <= 0.0;
+
+    replica_ = std::make_unique<pbft::Replica>(rcfg, sim, *crypto_, *pbft_transport_, *app_shim_,
+                                               memory_.gauge("pbft-log"));
+
+    if (options_.mode == Mode::kZugChain) {
+        layer_transport_ = std::make_unique<LayerTransportAdapter>(*this);
+        consensus_adapter_ = std::make_unique<ConsensusAdapter>(*this);
+        log_shim_ = std::make_unique<LogShim>(*this);
+
+        zugchain::LayerConfig lcfg;
+        lcfg.id = options_.id;
+        lcfg.soft_timeout = options_.soft_timeout;
+        lcfg.hard_timeout = options_.hard_timeout;
+        lcfg.max_open_per_origin = options_.max_open_per_origin;
+        layer_ = std::make_unique<zugchain::CommunicationLayer>(
+            lcfg, sim, *crypto_, *layer_transport_, *log_shim_, memory_.gauge("layer-queue"));
+        layer_->attach_consensus(*consensus_adapter_);
+    } else {
+        client_sender_ = std::make_unique<ClientSenderAdapter>(*this);
+        baseline::ClientConfig ccfg;
+        ccfg.id = options_.id;
+        ccfg.retransmit_timeout = options_.client_timeout;
+        client_ = std::make_unique<baseline::BaselineClient>(ccfg, sim, *crypto_,
+                                                             *client_sender_);
+        baseline_app_ = std::make_unique<baseline::BaselineApp>(*chain_app_, *client_);
+    }
+
+    exporter::ServerConfig ecfg;
+    ecfg.id = options_.id;
+    ecfg.checkpoint_interval = options_.block_size;
+    ecfg.delete_quorum = options_.delete_quorum;
+    export_server_ =
+        std::make_unique<exporter::ExportServer>(ecfg, *crypto_, store_, *export_transport_);
+    export_server_->set_proof_provider([this] { return replica_->latest_stable_proof(); });
+}
+
+Node::~Node() = default;
+
+void Node::send_enveloped(net::EndpointId to, Channel channel, Bytes body) {
+    if (!alive_) return;
+    network_.send(options_.id, to, encode_envelope(channel, std::move(body)));
+}
+
+void Node::on_telegram(const bus::Telegram& telegram) { on_telegram_from(0, telegram); }
+
+void Node::on_telegram_from(std::uint32_t source, const bus::Telegram& telegram) {
+    if (!alive_) return;
+    telegrams_ += 1;
+    executor_->submit([this, source, telegram] {
+        process_telegram(source, telegram);
+        return meter_.take();
+    });
+}
+
+void Node::process_telegram(std::uint32_t source, const bus::Telegram& telegram) {
+    crypto_->charge(costs_.bus_parse(telegram.payload.size()));
+    const auto record = parsers_[source].process(telegram.payload);
+    if (!record) return;  // corrupt frame: unusable, like a failed bus CRC
+
+    const Bytes payload = codec::encode_to_bytes(*record);
+    record_receive_time(crypto::sha256(payload));
+
+    // The uniquifier spans (source, cycle) so two sources with coinciding
+    // cycle counters sign distinct requests.
+    const std::uint64_t uniquifier =
+        (static_cast<std::uint64_t>(source) << 48) | telegram.cycle;
+    if (options_.mode == Mode::kZugChain) {
+        layer_->receive(payload, uniquifier, source);
+    } else {
+        client_->receive(payload, uniquifier);
+    }
+
+    maybe_fabricate(telegram);
+    maybe_duplicate();
+}
+
+void Node::request_emergency_trim(Height up_to) {
+    if (!alive_) return;
+    executor_->submit([this, up_to] {
+        const Bytes payload = zugchain::ChainApp::make_trim_request(up_to);
+        const std::uint64_t uniquifier = (1ull << 56) + up_to;
+        if (options_.mode == Mode::kZugChain) {
+            layer_->receive(payload, uniquifier);
+        } else {
+            client_->receive(payload, uniquifier);
+        }
+        return meter_.take();
+    });
+}
+
+void Node::maybe_fabricate(const bus::Telegram& telegram) {
+    const ByzantineBehavior& byz = options_.byzantine;
+    if (byz.fabricate_rate <= 0.0 || !byz_rng_.chance(byz.fabricate_rate)) return;
+    if (options_.mode != Mode::kZugChain) return;
+
+    // Fabricated requests: data never sent on the bus, sized like a real
+    // record so the load comparison is fair.
+    for (std::uint32_t i = 0; i < std::max(1u, byz.fabricate_burst); ++i) {
+        pbft::Request fake;
+        fake.payload = byz_rng_.bytes(std::max<std::size_t>(telegram.payload.size() / 2, 48));
+        fake.origin = options_.id;
+        fake.origin_seq = (1ull << 48) + fabricate_counter_++;
+        fake.sig = crypto_->sign(fake.signing_bytes());
+        layer_transport_->broadcast(fake);
+    }
+}
+
+void Node::maybe_duplicate() {
+    const ByzantineBehavior& byz = options_.byzantine;
+    if (byz.duplicate_rate <= 0.0 || recent_payloads_.empty()) return;
+    if (!byz_rng_.chance(byz.duplicate_rate)) return;
+    if (replica_->primary() != options_.id) return;
+
+    // Faulty primary re-proposes an already-logged payload under a fresh
+    // uniquifier, bypassing the layer's filtering.
+    pbft::Request dup;
+    dup.payload = recent_payloads_[byz_rng_.next_below(recent_payloads_.size())];
+    dup.origin = options_.id;
+    dup.origin_seq = (1ull << 52) + fabricate_counter_++;
+    dup.sig = crypto_->sign(dup.signing_bytes());
+    replica_->propose(dup);
+}
+
+void Node::record_receive_time(const crypto::Digest& payload_digest) {
+    receive_times_[payload_digest] = sim_.now();
+    // Bound the map: entries for data decided long ago are useless.
+    if (receive_times_.size() > 8192) receive_times_.clear();
+}
+
+void Node::record_logged(const pbft::Request& request) {
+    const crypto::Digest digest = request.payload_digest();
+    const auto it = receive_times_.find(digest);
+    if (it != receive_times_.end()) {
+        const Duration lat = sim_.now() - it->second;
+        if (measuring_) {
+            latency_.record(lat);
+            latency_series_.add(sim_.now(), to_millis(lat));
+        }
+        receive_times_.erase(it);
+    }
+    if (options_.byzantine.duplicate_rate > 0.0) {
+        recent_payloads_.push_back(request.payload);
+        if (recent_payloads_.size() > 64) recent_payloads_.pop_front();
+    }
+}
+
+void Node::deliver(net::EndpointId from, Bytes message) {
+    if (!alive_) return;
+    const std::size_t size = message.size();
+    rx_gauge_->add(static_cast<std::int64_t>(size));
+    const bool accepted = executor_->submit([this, from, msg = std::move(message), size] {
+        rx_gauge_->add(-static_cast<std::int64_t>(size));
+        crypto_->charge(costs_.handle(size));
+        const auto envelope = decode_envelope(msg);
+        if (envelope) dispatch(from, *envelope);
+        return meter_.take();
+    });
+    if (!accepted) rx_gauge_->add(-static_cast<std::int64_t>(size));
+}
+
+void Node::dispatch(net::EndpointId from, const Envelope& envelope) {
+    switch (envelope.channel) {
+        case Channel::kPbft: {
+            if (from >= options_.n) return;
+            const auto m = pbft::decode_message(envelope.body);
+            if (m) replica_->on_message(static_cast<NodeId>(from), *m);
+            break;
+        }
+        case Channel::kLayer: {
+            if (from >= options_.n || options_.mode != Mode::kZugChain) return;
+            const auto m = zugchain::decode_peer_request(envelope.body);
+            if (m) layer_->on_peer_request(static_cast<NodeId>(from), m->request, m->forwarded);
+            break;
+        }
+        case Channel::kExport: {
+            const auto m = exporter::decode_export_message(envelope.body);
+            if (m) export_server_->on_message(*m);
+            break;
+        }
+    }
+}
+
+}  // namespace zc::runtime

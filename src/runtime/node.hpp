@@ -1,0 +1,202 @@
+// One ZugChain node: the full software stack deployed on a shared train
+// device (paper Fig. 3) — bus connector with the JRU parse/filter
+// transform, the ZugChain communication layer (or, in baseline mode, a
+// traditional PBFT client), the PBFT replica, the blockchain application
+// with its persistent store, and the export server — all executing on a
+// metered virtual CPU and communicating through the simulated network.
+//
+// Byzantine behaviours used by the evaluation (Fig. 9 and the fault-model
+// tests) are injected here, at the node boundary, so the protocol
+// libraries stay honest-by-construction.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "baseline/app.hpp"
+#include "baseline/client.hpp"
+#include "bus/bus.hpp"
+#include "export/server.hpp"
+#include "metrics/stats.hpp"
+#include "net/network.hpp"
+#include "pbft/replica.hpp"
+#include "runtime/wire.hpp"
+#include "sim/executor.hpp"
+#include "train/jru_parser.hpp"
+#include "zugchain/chain_app.hpp"
+#include "zugchain/layer.hpp"
+
+namespace zc::runtime {
+
+enum class Mode { kZugChain, kBaseline };
+
+/// Byzantine knobs (all off = honest node).
+struct ByzantineBehavior {
+    /// Probability per bus cycle of broadcasting a fabricated request
+    /// (Fig. 9's 25/75/100 % attack).
+    double fabricate_rate = 0.0;
+
+    /// Fabricated requests emitted per triggering cycle (>1 = DoS flood,
+    /// which the per-origin rate limiter must bound).
+    std::uint32_t fabricate_burst = 1;
+
+    /// Outgoing preprepares are delayed by this much (Fig. 9's faulty
+    /// primary delaying preprepares by 250 ms).
+    Duration preprepare_delay{0};
+
+    /// Outgoing preprepares are dropped entirely (censoring primary).
+    bool drop_preprepares = false;
+
+    /// Probability per bus cycle of re-proposing an already-logged payload
+    /// (faulty primary submitting duplicates; detected via Alg. 1 ln. 17).
+    double duplicate_rate = 0.0;
+
+    /// Drop all outgoing protocol traffic (fail-silent but receiving).
+    bool mute = false;
+};
+
+struct NodeOptions {
+    NodeId id = 0;
+    std::uint32_t n = 4;
+    std::uint32_t f = 1;
+    Mode mode = Mode::kZugChain;
+
+    SeqNo block_size = 10;  ///< requests per block = checkpoint interval
+
+    // ZugChain layer timers (Fig. 8: 250 ms + 250 ms).
+    Duration soft_timeout{milliseconds(250)};
+    Duration hard_timeout{milliseconds(250)};
+    std::size_t max_open_per_origin = 32;
+
+    // Baseline timers (Fig. 8: 500 ms).
+    Duration client_timeout{milliseconds(500)};
+    Duration request_timeout{milliseconds(500)};
+
+    Duration view_change_timeout{milliseconds(2000)};
+
+    /// The M-COM is quad-core but the protocol stack handles messages on a
+    /// single thread; utilization is reported against `device_cores`.
+    int device_cores = 4;
+    int protocol_cores = 1;
+
+    /// Bounded receive buffer (messages); overflow drops.
+    std::size_t rx_queue_limit = 2048;
+
+    std::size_t delete_quorum = 2;  ///< export: DC deletes needed to prune
+
+    std::optional<std::filesystem::path> store_dir;
+
+    ByzantineBehavior byzantine;
+};
+
+class Node final : public net::Endpoint, public bus::BusTap {
+public:
+    Node(NodeOptions options, sim::Simulation& sim, net::Network& network,
+         crypto::CryptoProvider& provider, const crypto::KeyDirectory& directory,
+         crypto::KeyPair key, const metrics::CostModel& costs);
+    ~Node() override;
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    // -- substrate callbacks ---------------------------------------------
+    void on_telegram(const bus::Telegram& telegram) override;  // primary bus (source 0)
+
+    /// Input from an additional bus/link (paper §III-C "Multiple Input
+    /// Sources"); each source keeps its own queue in the layer.
+    void on_telegram_from(std::uint32_t source, const bus::Telegram& telegram);
+
+    void deliver(net::EndpointId from, Bytes message) override;
+
+    /// Proposes the emergency header-only trim agreement (paper error
+    /// scenario (v)); once ordered, all replicas trim bodies <= `up_to`.
+    void request_emergency_trim(Height up_to);
+
+    // -- control ----------------------------------------------------------
+    void crash() noexcept { alive_ = false; }
+    bool alive() const noexcept { return alive_; }
+
+    /// Starts/stops latency recording (scenario warmup control).
+    void set_measuring(bool on) noexcept { measuring_ = on; }
+
+    // -- observers ---------------------------------------------------------
+    NodeId id() const noexcept { return options_.id; }
+    pbft::Replica& replica() noexcept { return *replica_; }
+    zugchain::CommunicationLayer* layer() noexcept { return layer_.get(); }
+    baseline::BaselineClient* client() noexcept { return client_.get(); }
+    zugchain::ChainApp& chain_app() noexcept { return *chain_app_; }
+    chain::BlockStore& store() noexcept { return store_; }
+    exporter::ExportServer& export_server() noexcept { return *export_server_; }
+    sim::MeteredExecutor& executor() noexcept { return *executor_; }
+    metrics::MemoryTracker& memory() noexcept { return memory_; }
+    const metrics::LatencyRecorder& latency() const noexcept { return latency_; }
+    const metrics::Series& latency_series() const noexcept { return latency_series_; }
+    crypto::CryptoContext& crypto() noexcept { return *crypto_; }
+
+    std::uint64_t telegrams_seen() const noexcept { return telegrams_; }
+    std::uint64_t rx_dropped() const noexcept { return executor_->dropped(); }
+
+private:
+    struct PbftTransportAdapter;
+    struct LayerTransportAdapter;
+    struct ConsensusAdapter;
+    struct AppShim;
+    struct LogShim;
+    struct ExportTransportAdapter;
+    struct ClientSenderAdapter;
+
+    void dispatch(net::EndpointId from, const Envelope& envelope);
+    void process_telegram(std::uint32_t source, const bus::Telegram& telegram);
+    void maybe_fabricate(const bus::Telegram& telegram);
+    void maybe_duplicate();
+    void record_receive_time(const crypto::Digest& payload_digest);
+    void record_logged(const pbft::Request& request);
+    void send_enveloped(net::EndpointId to, Channel channel, Bytes body);
+
+    NodeOptions options_;
+    sim::Simulation& sim_;
+    net::Network& network_;
+    const metrics::CostModel& costs_;
+
+    bool alive_ = true;
+    bool measuring_ = false;
+
+    crypto::WorkMeter meter_;
+    std::unique_ptr<crypto::CryptoContext> crypto_;
+    metrics::MemoryTracker memory_;
+    std::unique_ptr<sim::MeteredExecutor> executor_;
+    metrics::Gauge* rx_gauge_;
+
+    std::map<std::uint32_t, train::JruParser> parsers_;  // one per input source
+    chain::BlockStore store_;
+
+    std::unique_ptr<PbftTransportAdapter> pbft_transport_;
+    std::unique_ptr<LayerTransportAdapter> layer_transport_;
+    std::unique_ptr<ConsensusAdapter> consensus_adapter_;
+    std::unique_ptr<AppShim> app_shim_;
+    std::unique_ptr<LogShim> log_shim_;
+    std::unique_ptr<ExportTransportAdapter> export_transport_;
+    std::unique_ptr<ClientSenderAdapter> client_sender_;
+
+    std::unique_ptr<zugchain::ChainApp> chain_app_;
+    std::unique_ptr<zugchain::CommunicationLayer> layer_;
+    std::unique_ptr<baseline::BaselineClient> client_;
+    std::unique_ptr<baseline::BaselineApp> baseline_app_;
+    std::unique_ptr<pbft::Replica> replica_;
+    std::unique_ptr<exporter::ExportServer> export_server_;
+
+    // latency bookkeeping: payload digest -> bus receive time
+    std::unordered_map<crypto::Digest, TimePoint, crypto::DigestHash> receive_times_;
+    metrics::LatencyRecorder latency_;
+    metrics::Series latency_series_;
+
+    // Byzantine state
+    Rng byz_rng_;
+    std::uint64_t fabricate_counter_ = 0;
+    std::deque<Bytes> recent_payloads_;  // for the duplicate-proposer attack
+
+    std::uint64_t telegrams_ = 0;
+};
+
+}  // namespace zc::runtime

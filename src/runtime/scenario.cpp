@@ -1,0 +1,314 @@
+#include "runtime/scenario.hpp"
+
+#include "common/log.hpp"
+#include "crypto/sha256.hpp"
+
+namespace zc::runtime {
+
+namespace {
+constexpr net::EndpointId kDcBase = 100;
+}
+
+/// A data center plus its local executor/crypto, attached to the network.
+class Scenario::DataCenterHost final : public net::Endpoint {
+public:
+    DataCenterHost(DataCenterId id, Scenario& scenario, crypto::KeyPair key)
+        : id_(id), scenario_(scenario),
+          crypto_(*scenario.provider_, scenario.directory_, std::move(key), scenario.dc_costs_,
+                  meter_),
+          executor_(scenario.sim_, 4), transport_(*this) {
+        exporter::DcConfig cfg;
+        cfg.id = id;
+        cfg.n = scenario.config_.n;
+        cfg.f = scenario.config_.f;
+        cfg.checkpoint_interval = scenario.config_.block_size;
+        cfg.reply_timeout = scenario.config_.export_timeout;
+        for (DataCenterId other = 0; other < scenario.config_.dc_count; ++other) {
+            if (other != id) cfg.peers.push_back(other);
+        }
+        dc_ = std::make_unique<exporter::DataCenter>(cfg, scenario.sim_, crypto_, transport_);
+    }
+
+    void deliver(net::EndpointId from, Bytes message) override {
+        (void)from;
+        executor_.submit([this, msg = std::move(message)] {
+            crypto_.charge(scenario_.dc_costs_.handle(msg.size()));
+            const auto envelope = decode_envelope(msg);
+            if (envelope && envelope->channel == Channel::kExport) {
+                const auto m = exporter::decode_export_message(envelope->body);
+                if (m) dc_->on_message(*m);
+            }
+            return meter_.take();
+        });
+    }
+
+    exporter::DataCenter& dc() noexcept { return *dc_; }
+
+private:
+    struct Transport final : exporter::DcTransport {
+        explicit Transport(DataCenterHost& host) : host(host) {}
+        void to_replica(NodeId replica, const exporter::ExportMessage& m) override {
+            host.scenario_.net_.send(kDcBase + host.id_, replica,
+                                     encode_envelope(Channel::kExport,
+                                                     exporter::encode_export_message(m)));
+        }
+        void to_data_center(DataCenterId dc, const exporter::ExportMessage& m) override {
+            host.scenario_.net_.send(kDcBase + host.id_, kDcBase + dc,
+                                     encode_envelope(Channel::kExport,
+                                                     exporter::encode_export_message(m)));
+        }
+        DataCenterHost& host;
+    };
+
+    DataCenterId id_;
+    Scenario& scenario_;
+    crypto::WorkMeter meter_;
+    crypto::CryptoContext crypto_;
+    sim::MeteredExecutor executor_;
+    Transport transport_;
+    std::unique_ptr<exporter::DataCenter> dc_;
+};
+
+/// Adapts a secondary bus tap to a node input source.
+struct Scenario::SourceTap final : bus::BusTap {
+    SourceTap(Node& node, std::uint32_t source) : node(node), source(source) {}
+    void on_telegram(const bus::Telegram& telegram) override {
+        node.on_telegram_from(source, telegram);
+    }
+    Node& node;
+    std::uint32_t source;
+};
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)), sim_(config_.seed), net_(sim_),
+      provider_(crypto::make_provider(config_.crypto_provider)),
+      dc_costs_(metrics::CostModel::cloud()) {
+    build();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build() {
+    // Keys for nodes and data centers (the permissioned membership).
+    Rng keyrng = sim_.rng().fork("keys");
+    std::vector<crypto::KeyPair> node_keys;
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+        node_keys.push_back(provider_->generate(keyrng));
+        directory_.register_key(i, node_keys.back().pub);
+    }
+    std::vector<crypto::KeyPair> dc_keys;
+    for (std::uint32_t d = 0; d < config_.dc_count; ++d) {
+        dc_keys.push_back(provider_->generate(keyrng));
+        directory_.register_key(exporter::dc_key_id(d), dc_keys.back().pub);
+    }
+
+    // Network topology: full mesh of train Ethernet between nodes; LTE
+    // between train and data centers; fast interconnect between DCs.
+    net_.set_default_profile(config_.train_link);
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+        for (std::uint32_t d = 0; d < config_.dc_count; ++d) {
+            net_.set_profile(i, kDcBase + d, config_.lte_link);
+            net_.set_profile(kDcBase + d, i, config_.lte_link);
+        }
+    }
+    for (std::uint32_t a = 0; a < config_.dc_count; ++a) {
+        for (std::uint32_t b = 0; b < config_.dc_count; ++b) {
+            if (a != b) net_.set_profile(kDcBase + a, kDcBase + b, config_.dc_link);
+        }
+    }
+
+    // Signal source and bus.
+    train::GeneratorConfig gen_cfg;
+    gen_cfg.payload_size = config_.payload_size;
+    generator_ = std::make_unique<train::SignalGenerator>(gen_cfg, sim_.rng().fork("atp"));
+    bus_ = std::make_unique<bus::Bus>(sim_, config_.bus_cycle, *generator_);
+
+    // Nodes.
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+        NodeOptions opts;
+        opts.id = i;
+        opts.n = config_.n;
+        opts.f = config_.f;
+        opts.mode = config_.mode;
+        opts.block_size = config_.block_size;
+        opts.soft_timeout = config_.soft_timeout;
+        opts.hard_timeout = config_.hard_timeout;
+        opts.max_open_per_origin = config_.max_open_per_origin;
+        opts.client_timeout = config_.client_timeout;
+        opts.request_timeout = config_.request_timeout;
+        opts.view_change_timeout = config_.view_change_timeout;
+        opts.device_cores = config_.device_cores;
+        opts.protocol_cores = config_.protocol_cores;
+        opts.rx_queue_limit = config_.rx_queue_limit;
+        opts.delete_quorum = config_.delete_quorum;
+        const auto byz = config_.byzantine.find(i);
+        if (byz != config_.byzantine.end()) opts.byzantine = byz->second;
+        if (config_.store_root) {
+            opts.store_dir = *config_.store_root / ("node-" + std::to_string(i));
+        }
+
+        nodes_.push_back(std::make_unique<Node>(opts, sim_, net_, *provider_, directory_,
+                                                node_keys[i], node_costs_));
+        net_.attach(i, nodes_.back().get());
+
+        const auto faults = config_.tap_faults.find(i);
+        bus_->attach_tap(*nodes_.back(),
+                         faults != config_.tap_faults.end() ? faults->second
+                                                            : config_.default_tap_faults);
+    }
+
+    // Additional input sources (each an independent bus + generator).
+    for (std::size_t b = 0; b < config_.extra_buses.size(); ++b) {
+        const auto& spec = config_.extra_buses[b];
+        ExtraBusRig rig;
+        train::GeneratorConfig extra_gen;
+        extra_gen.payload_size = spec.payload_size;
+        rig.generator = std::make_unique<train::SignalGenerator>(
+            extra_gen, sim_.rng().fork("extra-bus-" + std::to_string(b)));
+        rig.bus = std::make_unique<bus::Bus>(sim_, spec.cycle, *rig.generator);
+        for (auto& node : nodes_) {
+            rig.taps.push_back(
+                std::make_unique<SourceTap>(*node, static_cast<std::uint32_t>(b + 1)));
+            rig.bus->attach_tap(*rig.taps.back(), config_.default_tap_faults);
+        }
+        rig.bus->start();
+        extra_buses_.push_back(std::move(rig));
+    }
+
+    // Data centers.
+    for (std::uint32_t d = 0; d < config_.dc_count; ++d) {
+        dcs_.push_back(std::make_unique<DataCenterHost>(d, *this, dc_keys[d]));
+        net_.attach(kDcBase + d, dcs_.back().get());
+    }
+
+    wire_state_transfer();
+
+    // Fault schedule.
+    for (const auto& [when, id] : config_.crash_schedule) {
+        Node* target = nodes_.at(id).get();
+        sim_.schedule(when, [target] { target->crash(); });
+    }
+
+    bus_->start();
+    sim_.schedule(config_.mem_sample_period, [this] { sample_memory(); });
+    sim_.schedule(config_.warmup, [this] { start_measuring(); });
+}
+
+void Scenario::wire_state_transfer() {
+    // State transfer (paper §III-D discussion (ii)): a lagging replica
+    // fetches missing blocks from a peer and validates the chain against
+    // the checkpoint digest before adopting it. Modelled as a validated
+    // in-process copy; the bulk-transfer cost is charged to the CPU model
+    // (bandwidth cost is covered by the export experiments).
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+        Node* self = nodes_[i].get();
+        self->chain_app().set_state_fetcher([this, self](SeqNo seq,
+                                                         const crypto::Digest& state) {
+            const Height target = seq / config_.block_size;
+            for (const auto& peer : nodes_) {
+                if (peer.get() == self || !peer->alive()) continue;
+                chain::BlockStore& src = peer->store();
+                if (src.head_height() < target) continue;
+                const Height from = self->store().head_height() + 1;
+                if (from < src.base_height()) continue;  // peer pruned too far
+                bool ok = true;
+                for (const chain::Block& b : src.range(from, target)) {
+                    self->crypto().charge_hash(b.size_bytes());
+                    chain::Block copy = b;
+                    try {
+                        self->store().append(std::move(copy));
+                    } catch (const std::invalid_argument&) {
+                        ok = false;
+                        break;
+                    }
+                    if (self->layer() != nullptr) {
+                        for (const chain::LoggedRequest& req : b.requests) {
+                            self->layer()->mark_logged(crypto::sha256(req.payload));
+                        }
+                    }
+                }
+                if (ok && self->store().head_height() >= target &&
+                    self->store().head_hash() == state) {
+                    return true;
+                }
+            }
+            return false;
+        });
+    }
+}
+
+void Scenario::start_measuring() {
+    measuring_ = true;
+    measure_start_ = sim_.now();
+    busy_at_start_.clear();
+    bytes_at_start_.clear();
+    bytes_rx_at_start_.clear();
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+        nodes_[i]->set_measuring(true);
+        busy_at_start_.push_back(nodes_[i]->executor().busy_time());
+        bytes_at_start_.push_back(net_.stats(i).bytes_sent);
+        bytes_rx_at_start_.push_back(net_.stats(i).bytes_received);
+    }
+}
+
+void Scenario::sample_memory() {
+    if (stop_sampling_) return;
+    if (measuring_) {
+        for (auto& node : nodes_) node->memory().sample();
+    }
+    sim_.schedule(config_.mem_sample_period, [this] { sample_memory(); });
+}
+
+void Scenario::run() {
+    sim_.run_until(config_.warmup + config_.duration);
+    stop_sampling_ = true;
+}
+
+void Scenario::run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+exporter::DataCenter& Scenario::data_center(std::size_t i) { return dcs_.at(i)->dc(); }
+
+ScenarioReport Scenario::report() {
+    ScenarioReport out;
+    const Duration elapsed = sim_.now() - measure_start_;
+    out.elapsed_s = to_seconds(elapsed);
+
+    double util_sum = 0.0;
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+        Node& node = *nodes_[i];
+        NodeReport nr;
+        nr.cpu_cores = node.executor().utilization_since(measure_start_, busy_at_start_[i]);
+        nr.cpu_pct_of_device = nr.cpu_cores / config_.device_cores * 100.0;
+        if (!node.memory().samples_mb().empty()) {
+            nr.mem_avg_mb = node.memory().samples_mb().mean();
+            nr.mem_peak_mb = node.memory().samples_mb().max();
+        }
+        nr.bytes_sent = net_.stats(i).bytes_sent - bytes_at_start_[i];
+        nr.bytes_received = net_.stats(i).bytes_received - bytes_rx_at_start_[i];
+        nr.egress_utilization = net_.egress_utilization(i, measure_start_, bytes_at_start_[i],
+                                                        config_.train_link.bandwidth_bps);
+        nr.rx_dropped = node.rx_dropped();
+        nr.view_changes = node.replica().stats().new_views_installed;
+        nr.decided = node.replica().stats().decided;
+        out.total_bytes += nr.bytes_sent;
+        util_sum += nr.egress_utilization;
+        out.nodes.push_back(nr);
+    }
+    out.mean_egress_utilization = util_sum / config_.n;
+
+    Node& n0 = *nodes_[0];
+    out.latency_ms = n0.latency().millis();
+    out.blocks = n0.store().head_height();
+    if (config_.mode == Mode::kZugChain) {
+        const auto& stats = n0.layer()->stats();
+        out.logged_unique = stats.logged;
+        out.duplicates_decided = stats.duplicates_decided;
+        out.rate_limited = stats.rate_limited;
+        out.suspects = stats.suspects;
+    } else {
+        out.logged_unique = n0.replica().stats().decided;
+    }
+    return out;
+}
+
+}  // namespace zc::runtime

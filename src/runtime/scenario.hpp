@@ -1,0 +1,170 @@
+// Experiment harness: builds a complete testbed — n ZugChain nodes on a
+// shared bus and consensus Ethernet, optional data centers behind an LTE
+// uplink, fault schedules — runs it on virtual time and collects the
+// metrics the paper reports (latency, network utilization, CPU, memory,
+// export timings).
+//
+// Mirrors the paper's testbed (§V-A): four M-COM-class devices, an
+// MVB-like bus fed by an ATP signal generator, 100 Mbit/s consensus
+// Ethernet, and an ~8.5 Mbit/s LTE link to cloud data centers.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "export/data_center.hpp"
+#include "runtime/node.hpp"
+#include "train/generator.hpp"
+
+namespace zc::runtime {
+
+struct ScenarioConfig {
+    Mode mode = Mode::kZugChain;
+    std::uint32_t n = 4;
+    std::uint32_t f = 1;
+    std::uint64_t seed = 1;
+
+    // Workload (paper defaults: 64 ms cycle, block size 10).
+    Duration bus_cycle{milliseconds(64)};
+    std::size_t payload_size = 1024;
+    SeqNo block_size = 10;
+
+    /// Additional input sources beyond the MVB (paper SIII-C "Multiple
+    /// Input Sources"), e.g. a ProfiNet segment: each entry creates
+    /// another bus with its own signal generator feeding all nodes.
+    struct ExtraBus {
+        Duration cycle{milliseconds(128)};
+        std::size_t payload_size = 256;
+    };
+    std::vector<ExtraBus> extra_buses;
+
+    // Timers (paper Fig. 8).
+    Duration soft_timeout{milliseconds(250)};
+    Duration hard_timeout{milliseconds(250)};
+    Duration client_timeout{milliseconds(500)};
+    Duration request_timeout{milliseconds(500)};
+    Duration view_change_timeout{milliseconds(2000)};
+    std::size_t max_open_per_origin = 32;
+
+    /// "fast" (HMAC simulation signatures) or "ed25519" (real crypto);
+    /// virtual CPU costs are identical either way.
+    std::string crypto_provider = "fast";
+
+    int device_cores = 4;
+    int protocol_cores = 1;
+    std::size_t rx_queue_limit = 2048;
+
+    /// Mild bus unreliability by default (drops/reorders per [9]); clear
+    /// for noise-free microbenchmarks.
+    bus::TapFaults default_tap_faults{0.002, 0.001, 0.0005, 0.0005};
+    std::map<NodeId, bus::TapFaults> tap_faults;
+
+    std::map<NodeId, ByzantineBehavior> byzantine;
+    std::vector<std::pair<Duration, NodeId>> crash_schedule;
+
+    // Data centers (0 = no export infrastructure).
+    std::uint32_t dc_count = 0;
+    std::size_t delete_quorum = 2;
+    Duration export_timeout{seconds(60)};
+
+    // Links.
+    net::LinkProfile train_link = net::LinkProfile::train_ethernet();
+    net::LinkProfile lte_link = net::LinkProfile::lte();
+    net::LinkProfile dc_link{milliseconds(8), milliseconds(2), 1e9, 0.0};
+
+    Duration warmup{seconds(2)};
+    Duration duration{seconds(30)};
+    Duration mem_sample_period{milliseconds(100)};
+
+    /// If set, each node persists its chain under store_root/node-<id>
+    /// (inspectable offline with tools/zc_inspect).
+    std::optional<std::filesystem::path> store_root;
+};
+
+struct NodeReport {
+    double cpu_cores = 0.0;           ///< protocol CPU in cores (1.0 = one core busy)
+    double cpu_pct_of_device = 0.0;   ///< % of the device's total CPU (4 cores = 100 %)
+    double mem_avg_mb = 0.0;
+    double mem_peak_mb = 0.0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    double egress_utilization = 0.0;  ///< of the 100 Mbit/s link, in [0,1]
+    std::uint64_t rx_dropped = 0;
+    std::uint64_t view_changes = 0;
+    std::uint64_t decided = 0;
+};
+
+struct ScenarioReport {
+    metrics::Summary latency_ms;  ///< request reception -> logged, on node 0
+    std::vector<NodeReport> nodes;
+    double mean_egress_utilization = 0.0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t blocks = 0;            ///< chain height on node 0
+    std::uint64_t logged_unique = 0;     ///< requests written to the chain (node 0)
+    std::uint64_t duplicates_decided = 0;
+    std::uint64_t rate_limited = 0;
+    std::uint64_t suspects = 0;
+    double elapsed_s = 0.0;
+};
+
+class Scenario {
+public:
+    explicit Scenario(ScenarioConfig config);
+    ~Scenario();
+
+    Scenario(const Scenario&) = delete;
+    Scenario& operator=(const Scenario&) = delete;
+
+    /// Runs warmup + measurement duration.
+    void run();
+
+    /// Continues the simulation (after run()) for ad-hoc experiment logic.
+    void run_for(Duration d);
+
+    ScenarioReport report();
+
+    Node& node(std::size_t i) { return *nodes_.at(i); }
+    std::size_t node_count() const noexcept { return nodes_.size(); }
+    exporter::DataCenter& data_center(std::size_t i);
+    sim::Simulation& sim() noexcept { return sim_; }
+    net::Network& network() noexcept { return net_; }
+    bus::Bus& train_bus() noexcept { return *bus_; }
+    const ScenarioConfig& config() const noexcept { return config_; }
+
+private:
+    class DataCenterHost;
+
+    void build();
+    void wire_state_transfer();
+    void start_measuring();
+    void sample_memory();
+
+    ScenarioConfig config_;
+    sim::Simulation sim_;
+    net::Network net_;
+    std::unique_ptr<crypto::CryptoProvider> provider_;
+    crypto::KeyDirectory directory_;
+    metrics::CostModel node_costs_;
+    metrics::CostModel dc_costs_;
+    std::unique_ptr<train::SignalGenerator> generator_;
+    std::unique_ptr<bus::Bus> bus_;
+    struct SourceTap;
+    struct ExtraBusRig {
+        std::unique_ptr<train::SignalGenerator> generator;
+        std::unique_ptr<bus::Bus> bus;
+        std::vector<std::unique_ptr<SourceTap>> taps;
+    };
+    std::vector<ExtraBusRig> extra_buses_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<DataCenterHost>> dcs_;
+
+    // measurement window bookkeeping
+    bool measuring_ = false;
+    TimePoint measure_start_{0};
+    std::vector<Duration> busy_at_start_;
+    std::vector<std::uint64_t> bytes_at_start_;
+    std::vector<std::uint64_t> bytes_rx_at_start_;
+    bool stop_sampling_ = false;
+};
+
+}  // namespace zc::runtime

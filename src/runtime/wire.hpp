@@ -1,0 +1,48 @@
+// Top-level wire envelope multiplexing the three protocol channels over
+// one network endpoint per node: PBFT consensus, ZugChain layer traffic,
+// and the export protocol.
+#pragma once
+
+#include <optional>
+
+#include "codec/codec.hpp"
+#include "common/bytes.hpp"
+
+namespace zc::runtime {
+
+enum class Channel : std::uint8_t {
+    kPbft = 1,
+    kLayer = 2,
+    kExport = 3,
+};
+
+struct Envelope {
+    Channel channel = Channel::kPbft;
+    Bytes body;
+
+    void encode(codec::Writer& w) const {
+        w.u8(static_cast<std::uint8_t>(channel));
+        w.bytes(body);
+    }
+    static Envelope decode(codec::Reader& r) {
+        Envelope e;
+        const std::uint8_t c = r.u8();
+        if (c < 1 || c > 3) throw codec::DecodeError("bad channel");
+        e.channel = static_cast<Channel>(c);
+        e.body = r.bytes();
+        return e;
+    }
+};
+
+inline Bytes encode_envelope(Channel channel, Bytes body) {
+    Envelope e;
+    e.channel = channel;
+    e.body = std::move(body);
+    return codec::encode_to_bytes(e);
+}
+
+inline std::optional<Envelope> decode_envelope(BytesView data) noexcept {
+    return codec::try_decode<Envelope>(data);
+}
+
+}  // namespace zc::runtime

@@ -1,0 +1,48 @@
+#include "sim/executor.hpp"
+
+#include <stdexcept>
+
+namespace zc::sim {
+
+MeteredExecutor::MeteredExecutor(Simulation& sim, int cores, std::size_t queue_limit)
+    : sim_(sim), cores_(cores), idle_(cores), queue_limit_(queue_limit) {
+    if (cores <= 0) throw std::invalid_argument("MeteredExecutor needs >= 1 core");
+}
+
+bool MeteredExecutor::submit(Job job) {
+    if (idle_ > 0) {
+        --idle_;
+        run(std::move(job));
+        return true;
+    }
+    if (queue_limit_ != 0 && queue_.size() >= queue_limit_) {
+        ++dropped_;
+        return false;
+    }
+    queue_.push_back(std::move(job));
+    return true;
+}
+
+void MeteredExecutor::run(Job job) {
+    const Duration cost = job();
+    busy_ += cost;
+    ++completed_;
+    sim_.schedule(cost, [this] {
+        if (!queue_.empty()) {
+            Job next = std::move(queue_.front());
+            queue_.pop_front();
+            run(std::move(next));
+        } else {
+            ++idle_;
+        }
+    });
+}
+
+double MeteredExecutor::utilization_since(TimePoint since, Duration busy_at_since) const noexcept {
+    const Duration elapsed = sim_.now() - since;
+    if (elapsed <= Duration::zero()) return 0.0;
+    return static_cast<double>((busy_ - busy_at_since).count()) /
+           static_cast<double>(elapsed.count());
+}
+
+}  // namespace zc::sim

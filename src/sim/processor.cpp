@@ -1,0 +1,43 @@
+#include "sim/processor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zc::sim {
+
+Processor::Processor(Simulation& sim, int cores, double background_load)
+    : sim_(sim), core_free_(static_cast<std::size_t>(cores), TimePoint{0}) {
+    if (cores <= 0) throw std::invalid_argument("Processor needs >= 1 core");
+    if (background_load < 0.0 || background_load >= 1.0)
+        throw std::invalid_argument("background_load must be in [0, 1)");
+    cost_scale_ = 1.0 / (1.0 - background_load);
+}
+
+void Processor::submit(Duration cost, std::function<void()> fn) {
+    const Duration scaled{static_cast<std::int64_t>(static_cast<double>(cost.count()) *
+                                                    cost_scale_)};
+    auto it = std::min_element(core_free_.begin(), core_free_.end());
+    const TimePoint start = std::max(sim_.now(), *it);
+    const TimePoint end = start + scaled;
+    *it = end;
+    busy_ += scaled;
+    sim_.schedule_at(end, std::move(fn));
+}
+
+Duration Processor::backlog() const noexcept {
+    const TimePoint now = sim_.now();
+    Duration worst{0};
+    for (const TimePoint t : core_free_) {
+        if (t > now) worst = std::max(worst, t - now);
+    }
+    return worst;
+}
+
+double Processor::utilization_since(TimePoint since, Duration busy_at_since) const noexcept {
+    const Duration elapsed = sim_.now() - since;
+    if (elapsed <= Duration::zero()) return 0.0;
+    const Duration used = busy_ - busy_at_since;
+    return static_cast<double>(used.count()) / static_cast<double>(elapsed.count());
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,53 @@
+// Virtual multi-core CPU.
+//
+// Each ZugChain node is a shared train device (the paper's M-COMs are
+// quad-core Cortex-A9 boxes running other workloads). Handlers are not run
+// immediately when a message arrives: work is submitted with a CPU cost
+// (from metrics::CostModel) and executes when a virtual core finishes it.
+// When offered load exceeds capacity the run queue grows, which is exactly
+// how the paper's baseline falls over at 32 ms bus cycles (Fig. 6).
+#pragma once
+
+#include <functional>
+
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace zc::sim {
+
+class Processor {
+public:
+    /// `background_load` models co-located train software: the fraction of
+    /// each core's time that is unavailable to us (work costs are scaled by
+    /// 1/(1-background_load)).
+    Processor(Simulation& sim, int cores, double background_load = 0.0);
+
+    /// Submits a job costing `cost` CPU time; `fn` runs at completion.
+    /// FIFO assignment to the earliest-free core.
+    void submit(Duration cost, std::function<void()> fn);
+
+    /// Submits a zero-cost job (bookkeeping that should still respect
+    /// event ordering through the processor).
+    void post(std::function<void()> fn) { submit(Duration::zero(), std::move(fn)); }
+
+    int cores() const noexcept { return static_cast<int>(core_free_.size()); }
+
+    /// Total CPU time consumed by submitted jobs (sum across cores).
+    Duration busy_time() const noexcept { return busy_; }
+
+    /// How far the most-loaded core's completion horizon lies beyond `now`;
+    /// zero when idle. A growing backlog means overload.
+    Duration backlog() const noexcept;
+
+    /// Utilization in [0, cores] over (since, now]; e.g. 4 cores fully busy
+    /// reports 4.0 — matching the paper's "400 %" convention.
+    double utilization_since(TimePoint since, Duration busy_at_since) const noexcept;
+
+private:
+    Simulation& sim_;
+    std::vector<TimePoint> core_free_;
+    double cost_scale_;
+    Duration busy_{0};
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,59 @@
+#include "sim/simulation.hpp"
+
+namespace zc::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::schedule(Duration delay, std::function<void()> fn) {
+    if (delay < Duration::zero()) delay = Duration::zero();
+    return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_at(TimePoint when, std::function<void()> fn) {
+    if (when < now_) when = now_;
+    const EventId id = next_seq_++;
+    queue_.push(QueueEntry{when, id, id});
+    handlers_.emplace(id, std::move(fn));
+    return id;
+}
+
+void Simulation::cancel(EventId id) noexcept { handlers_.erase(id); }
+
+bool Simulation::pending(EventId id) const noexcept { return handlers_.contains(id); }
+
+bool Simulation::step() {
+    while (!queue_.empty()) {
+        const QueueEntry entry = queue_.top();
+        queue_.pop();
+        auto it = handlers_.find(entry.id);
+        if (it == handlers_.end()) continue;  // cancelled
+        now_ = entry.at;
+        // Move the handler out before erasing: the handler may schedule or
+        // cancel other events (including rescheduling its own id).
+        auto fn = std::move(it->second);
+        handlers_.erase(it);
+        fn();
+        return true;
+    }
+    return false;
+}
+
+void Simulation::run_until(TimePoint t) {
+    while (!queue_.empty()) {
+        const QueueEntry& entry = queue_.top();
+        if (!handlers_.contains(entry.id)) {
+            queue_.pop();
+            continue;
+        }
+        if (entry.at > t) break;
+        step();
+    }
+    if (now_ < t) now_ = t;
+}
+
+void Simulation::run() {
+    while (step()) {
+    }
+}
+
+}  // namespace zc::sim

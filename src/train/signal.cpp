@@ -1,0 +1,63 @@
+#include "train/signal.hpp"
+
+namespace zc::train {
+
+namespace {
+
+void encode_signals(codec::Writer& w, const std::vector<Signal>& signals) {
+    w.varint(signals.size());
+    for (const Signal& s : signals) {
+        w.u8(static_cast<std::uint8_t>(s.kind));
+        w.i64(s.value);
+    }
+}
+
+std::vector<Signal> decode_signals(codec::Reader& r) {
+    const std::uint64_t count = r.varint();
+    if (count > 4096) throw codec::DecodeError("implausible signal count");
+    std::vector<Signal> signals;
+    signals.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Signal s;
+        s.kind = static_cast<SignalKind>(r.u8());
+        s.value = r.i64();
+        signals.push_back(s);
+    }
+    return signals;
+}
+
+}  // namespace
+
+void TelegramContent::encode(codec::Writer& w) const {
+    w.u64(cycle);
+    w.i64(timestamp_ns);
+    encode_signals(w, signals);
+    w.bytes(opaque);
+}
+
+TelegramContent TelegramContent::decode(codec::Reader& r) {
+    TelegramContent t;
+    t.cycle = r.u64();
+    t.timestamp_ns = r.i64();
+    t.signals = decode_signals(r);
+    t.opaque = r.bytes();
+    return t;
+}
+
+void LogRecord::encode(codec::Writer& w) const {
+    w.u64(cycle);
+    w.i64(timestamp_ns);
+    encode_signals(w, signals);
+    w.bytes(opaque);
+}
+
+LogRecord LogRecord::decode(codec::Reader& r) {
+    LogRecord rec;
+    rec.cycle = r.u64();
+    rec.timestamp_ns = r.i64();
+    rec.signals = decode_signals(r);
+    rec.opaque = r.bytes();
+    return rec;
+}
+
+}  // namespace zc::train

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bus/bus.hpp"
+
+namespace zc::bus {
+namespace {
+
+struct CountingSource final : PayloadSource {
+    Bytes payload_for_cycle(std::uint64_t cycle, TimePoint) override {
+        Bytes b(8, 0);
+        for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(cycle >> (8 * i));
+        return b;
+    }
+};
+
+struct RecordingTap final : BusTap {
+    explicit RecordingTap(sim::Simulation& sim) : sim(sim) {}
+    void on_telegram(const Telegram& telegram) override {
+        telegrams.push_back(telegram);
+        times.push_back(sim.now());
+    }
+    sim::Simulation& sim;
+    std::vector<Telegram> telegrams;
+    std::vector<TimePoint> times;
+};
+
+struct BusFixture : ::testing::Test {
+    BusFixture() : sim(3), bus(sim, milliseconds(64), source) {}
+    sim::Simulation sim;
+    CountingSource source;
+    Bus bus;
+};
+
+TEST_F(BusFixture, DeliversEveryCycleToAllTaps) {
+    RecordingTap t1(sim), t2(sim);
+    bus.attach_tap(t1);
+    bus.attach_tap(t2);
+    bus.start();
+    sim.run_until(milliseconds(64 * 10 - 1));
+    EXPECT_EQ(t1.telegrams.size(), 10u);
+    EXPECT_EQ(t2.telegrams.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(t1.telegrams[i].cycle, i);
+        EXPECT_EQ(t1.telegrams[i].payload, t2.telegrams[i].payload);
+    }
+}
+
+TEST_F(BusFixture, CycleCadenceIsExact) {
+    RecordingTap t(sim);
+    bus.attach_tap(t);
+    bus.start();
+    sim.run_until(milliseconds(300));
+    ASSERT_GE(t.times.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(t.times[i], milliseconds(64) * static_cast<std::int64_t>(i));
+    }
+}
+
+TEST_F(BusFixture, StopHaltsCycles) {
+    RecordingTap t(sim);
+    bus.attach_tap(t);
+    bus.start();
+    sim.run_until(milliseconds(100));
+    bus.stop();
+    const std::size_t seen = t.telegrams.size();
+    sim.run_until(milliseconds(1000));
+    EXPECT_EQ(t.telegrams.size(), seen);
+}
+
+TEST_F(BusFixture, DropFaultLosesCycles) {
+    RecordingTap healthy(sim), faulty(sim);
+    bus.attach_tap(healthy);
+    TapFaults f;
+    f.drop = 0.5;
+    const std::size_t idx = bus.attach_tap(faulty, f);
+    bus.start();
+    sim.run_until(milliseconds(64 * 200));
+    EXPECT_EQ(healthy.telegrams.size(), 201u);
+    EXPECT_LT(faulty.telegrams.size(), 150u);
+    EXPECT_GT(faulty.telegrams.size(), 50u);
+    EXPECT_EQ(bus.tap_stats(idx).dropped + faulty.telegrams.size(), 201u);
+}
+
+TEST_F(BusFixture, DelayFaultShiftsDelivery) {
+    RecordingTap t(sim);
+    TapFaults f;
+    f.delay = 1.0;  // every telegram arrives one cycle late
+    bus.attach_tap(t, f);
+    bus.start();
+    sim.run_until(milliseconds(64 * 5));
+    ASSERT_GE(t.telegrams.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(t.times[i], milliseconds(64) * static_cast<std::int64_t>(i + 1));
+        EXPECT_EQ(t.telegrams[i].cycle, i);
+    }
+}
+
+TEST_F(BusFixture, CorruptFaultFlipsBits) {
+    RecordingTap clean(sim), corrupted(sim);
+    bus.attach_tap(clean);
+    TapFaults f;
+    f.corrupt = 1.0;
+    const std::size_t idx = bus.attach_tap(corrupted, f);
+    bus.start();
+    sim.run_until(milliseconds(64 * 20));
+    ASSERT_EQ(clean.telegrams.size(), corrupted.telegrams.size());
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < clean.telegrams.size(); ++i) {
+        EXPECT_EQ(clean.telegrams[i].payload.size(), corrupted.telegrams[i].payload.size());
+        if (clean.telegrams[i].payload != corrupted.telegrams[i].payload) ++differing;
+    }
+    EXPECT_EQ(differing, clean.telegrams.size());
+    EXPECT_EQ(bus.tap_stats(idx).corrupted, clean.telegrams.size());
+}
+
+TEST_F(BusFixture, DivergeFaultYieldsDifferingValidReading) {
+    RecordingTap clean(sim), diverged(sim);
+    bus.attach_tap(clean);
+    TapFaults f;
+    f.diverge = 1.0;
+    bus.attach_tap(diverged, f);
+    bus.start();
+    sim.run_until(milliseconds(64 * 5));
+    ASSERT_EQ(clean.telegrams.size(), diverged.telegrams.size());
+    for (std::size_t i = 0; i < clean.telegrams.size(); ++i) {
+        // Same length (the frame still parses), different trailing value.
+        EXPECT_EQ(diverged.telegrams[i].payload.size(), clean.telegrams[i].payload.size());
+        EXPECT_NE(diverged.telegrams[i].payload, clean.telegrams[i].payload);
+    }
+}
+
+TEST_F(BusFixture, RejectsNonPositiveCycle) {
+    EXPECT_THROW(Bus(sim, Duration::zero(), source), std::invalid_argument);
+}
+
+TEST(BusDeterminism, SameSeedSameFaultPattern) {
+    for (int run = 0; run < 2; ++run) {
+        // Both runs constructed identically; compare delivered cycle sets.
+        static std::vector<std::uint64_t> first_run;
+        sim::Simulation sim(77);
+        CountingSource source;
+        Bus bus(sim, milliseconds(32), source);
+        RecordingTap t(sim);
+        TapFaults f;
+        f.drop = 0.3;
+        bus.attach_tap(t, f);
+        bus.start();
+        sim.run_until(seconds(10));
+        std::vector<std::uint64_t> cycles;
+        for (const auto& tg : t.telegrams) cycles.push_back(tg.cycle);
+        if (run == 0) {
+            first_run = cycles;
+        } else {
+            EXPECT_EQ(cycles, first_run);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace zc::bus

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "chain/block_store.hpp"
+#include "common/rng.hpp"
+
+namespace zc::chain {
+namespace {
+
+std::vector<LoggedRequest> make_requests(std::size_t n, std::uint64_t salt) {
+    std::vector<LoggedRequest> reqs;
+    Rng rng(salt);
+    for (std::size_t i = 0; i < n; ++i) {
+        LoggedRequest r;
+        r.payload = rng.bytes(48);
+        r.origin = 0;
+        r.seq = salt * 100 + i;
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+void extend(BlockStore& store, int blocks) {
+    for (int i = 0; i < blocks; ++i) {
+        const Height h = store.head_height() + 1;
+        store.append(Block::build(h, store.head_hash(), static_cast<std::int64_t>(h),
+                                  make_requests(5, h)));
+    }
+}
+
+TEST(BlockStore, StartsWithGenesis) {
+    BlockStore store;
+    EXPECT_EQ(store.head_height(), 0u);
+    EXPECT_EQ(store.base_height(), 0u);
+    ASSERT_NE(store.get(0), nullptr);
+    EXPECT_EQ(store.get(0)->hash(), make_genesis().hash());
+}
+
+TEST(BlockStore, AppendExtendsHead) {
+    BlockStore store;
+    extend(store, 3);
+    EXPECT_EQ(store.head_height(), 3u);
+    EXPECT_TRUE(store.validate(0, 3));
+}
+
+TEST(BlockStore, RejectsWrongHeight) {
+    BlockStore store;
+    EXPECT_THROW(store.append(Block::build(5, store.head_hash(), 0, {})),
+                 std::invalid_argument);
+}
+
+TEST(BlockStore, RejectsWrongParent) {
+    BlockStore store;
+    crypto::Digest bogus{};
+    EXPECT_THROW(store.append(Block::build(1, bogus, 0, {})), std::invalid_argument);
+}
+
+TEST(BlockStore, RejectsBadPayloadRoot) {
+    BlockStore store;
+    Block b = Block::build(1, store.head_hash(), 0, make_requests(3, 1));
+    b.requests[0].payload[0] ^= 1;
+    EXPECT_THROW(store.append(std::move(b)), std::invalid_argument);
+}
+
+TEST(BlockStore, ValidateDetectsRangeErrors) {
+    BlockStore store;
+    extend(store, 5);
+    EXPECT_TRUE(store.validate(0, 5));
+    EXPECT_FALSE(store.validate(3, 2));   // inverted
+    EXPECT_FALSE(store.validate(0, 99));  // beyond head
+}
+
+TEST(BlockStore, PruneRemovesOldBlocksKeepsBase) {
+    BlockStore store;
+    extend(store, 10);
+    store.prune_to(6, to_bytes("delete-cert"));
+    EXPECT_EQ(store.base_height(), 6u);
+    EXPECT_EQ(store.get(5), nullptr);
+    EXPECT_NE(store.get(6), nullptr);
+    EXPECT_NE(store.get(10), nullptr);
+    EXPECT_TRUE(store.validate(6, 10));
+    EXPECT_FALSE(store.validate(0, 10));  // below base
+
+    ASSERT_TRUE(store.anchor().has_value());
+    EXPECT_EQ(store.anchor()->base_height, 6u);
+    EXPECT_EQ(store.anchor()->base_hash, store.get(6)->hash());
+    EXPECT_EQ(store.anchor()->evidence, to_bytes("delete-cert"));
+}
+
+TEST(BlockStore, PruneBeyondHeadThrows) {
+    BlockStore store;
+    extend(store, 2);
+    EXPECT_THROW(store.prune_to(5, {}), std::invalid_argument);
+}
+
+TEST(BlockStore, DoublePruneBackwardIsNoop) {
+    BlockStore store;
+    extend(store, 10);
+    store.prune_to(8, to_bytes("c1"));
+    store.prune_to(4, to_bytes("c2"));  // older than base: ignored
+    EXPECT_EQ(store.base_height(), 8u);
+    EXPECT_EQ(store.anchor()->evidence, to_bytes("c1"));
+}
+
+TEST(BlockStore, PruneReducesStoredBytes) {
+    BlockStore store;
+    extend(store, 10);
+    const std::size_t before = store.stored_bytes();
+    store.prune_to(9, {});
+    EXPECT_LT(store.stored_bytes(), before);
+}
+
+TEST(BlockStore, TrimBodiesKeepsHeaders) {
+    BlockStore store;
+    extend(store, 6);
+    const std::size_t before = store.stored_bytes();
+    store.trim_bodies_to(4);
+    EXPECT_LT(store.stored_bytes(), before);
+    EXPECT_EQ(store.get(3), nullptr);
+    EXPECT_NE(store.header(3), nullptr);
+    EXPECT_NE(store.get(5), nullptr);
+    // Chain still validates: links intact, trimmed bodies skipped.
+    EXPECT_TRUE(store.validate(0, 6));
+}
+
+TEST(BlockStore, RangeSkipsTrimmed) {
+    BlockStore store;
+    extend(store, 6);
+    store.trim_bodies_to(2);
+    const auto blocks = store.range(0, 6);
+    EXPECT_EQ(blocks.size(), 4u);  // heights 3..6
+    EXPECT_EQ(blocks.front().header.height, 3u);
+}
+
+TEST(BlockStore, GaugeTracksBytes) {
+    metrics::MemoryTracker tracker;
+    metrics::Gauge* gauge = tracker.gauge("chain");
+    BlockStore store(gauge);
+    extend(store, 4);
+    EXPECT_EQ(static_cast<std::size_t>(gauge->value()), store.stored_bytes());
+    store.prune_to(3, {});
+    EXPECT_EQ(static_cast<std::size_t>(gauge->value()), store.stored_bytes());
+    EXPECT_EQ(tracker.underflows(), 0u);
+}
+
+class PersistentStoreTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("zc_store_test_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+    std::filesystem::path dir_;
+};
+
+TEST_F(PersistentStoreTest, SurvivesReload) {
+    {
+        BlockStore store(nullptr, dir_);
+        extend(store, 5);
+    }
+    BlockStore restored = BlockStore::load(dir_);
+    EXPECT_EQ(restored.head_height(), 5u);
+    EXPECT_TRUE(restored.validate(0, 5));
+}
+
+TEST_F(PersistentStoreTest, PruneRemovesFilesAndAnchorPersists) {
+    {
+        BlockStore store(nullptr, dir_);
+        extend(store, 8);
+        store.prune_to(5, to_bytes("evidence"));
+    }
+    BlockStore restored = BlockStore::load(dir_);
+    EXPECT_EQ(restored.base_height(), 5u);
+    EXPECT_EQ(restored.head_height(), 8u);
+    EXPECT_EQ(restored.get(4), nullptr);
+    ASSERT_TRUE(restored.anchor().has_value());
+    EXPECT_EQ(restored.anchor()->base_height, 5u);
+    EXPECT_EQ(restored.anchor()->evidence, to_bytes("evidence"));
+    EXPECT_TRUE(restored.validate(5, 8));
+}
+
+TEST_F(PersistentStoreTest, AppendAfterReloadContinuesChain) {
+    {
+        BlockStore store(nullptr, dir_);
+        extend(store, 3);
+    }
+    BlockStore restored = BlockStore::load(dir_);
+    extend(restored, 2);
+    EXPECT_EQ(restored.head_height(), 5u);
+    EXPECT_TRUE(restored.validate(0, 5));
+}
+
+}  // namespace
+}  // namespace zc::chain

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "chain/merkle.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace zc::chain {
+namespace {
+
+std::vector<crypto::Digest> make_leaves(std::size_t n) {
+    std::vector<crypto::Digest> leaves;
+    Rng rng(static_cast<std::uint64_t>(n) + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Bytes data = rng.bytes(16);
+        leaves.push_back(merkle_leaf(data));
+    }
+    return leaves;
+}
+
+TEST(Merkle, EmptyRootIsDefined) {
+    const auto a = merkle_root({});
+    const auto b = merkle_root({});
+    EXPECT_EQ(a, b);
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+    const auto leaves = make_leaves(1);
+    EXPECT_EQ(merkle_root(leaves), leaves[0]);
+}
+
+TEST(Merkle, RootDependsOnContent) {
+    auto leaves = make_leaves(4);
+    const auto root = merkle_root(leaves);
+    leaves[2][0] ^= 1;
+    EXPECT_NE(merkle_root(leaves), root);
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+    auto leaves = make_leaves(4);
+    const auto root = merkle_root(leaves);
+    std::swap(leaves[0], leaves[1]);
+    EXPECT_NE(merkle_root(leaves), root);
+}
+
+TEST(Merkle, LeafDomainSeparated) {
+    const Bytes data = to_bytes("x");
+    // leaf hash != plain sha256
+    EXPECT_NE(merkle_leaf(data), crypto::sha256(data));
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllProofsVerify) {
+    const std::size_t n = GetParam();
+    const auto leaves = make_leaves(n);
+    const auto root = merkle_root(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto proof = merkle_prove(leaves, i);
+        EXPECT_TRUE(merkle_verify(root, n, leaves[i], proof)) << "leaf " << i;
+    }
+}
+
+TEST_P(MerkleProofTest, WrongLeafFails) {
+    const std::size_t n = GetParam();
+    const auto leaves = make_leaves(n);
+    const auto root = merkle_root(leaves);
+    auto tampered = leaves[0];
+    tampered[5] ^= 0xff;
+    const auto proof = merkle_prove(leaves, 0);
+    EXPECT_FALSE(merkle_verify(root, n, tampered, proof));
+}
+
+TEST_P(MerkleProofTest, WrongIndexFails) {
+    const std::size_t n = GetParam();
+    if (n < 2) return;
+    const auto leaves = make_leaves(n);
+    const auto root = merkle_root(leaves);
+    auto proof = merkle_prove(leaves, 0);
+    proof.index = 1;
+    EXPECT_FALSE(merkle_verify(root, n, leaves[0], proof));
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 10, 16, 31, 33));
+
+TEST(MerkleProof, OutOfRangeProveThrows) {
+    const auto leaves = make_leaves(3);
+    EXPECT_THROW(merkle_prove(leaves, 3), std::out_of_range);
+}
+
+TEST(MerkleProof, TruncatedProofFails) {
+    const auto leaves = make_leaves(8);
+    const auto root = merkle_root(leaves);
+    auto proof = merkle_prove(leaves, 2);
+    proof.siblings.pop_back();
+    EXPECT_FALSE(merkle_verify(root, 8, leaves[2], proof));
+}
+
+TEST(MerkleProof, OverlongProofFails) {
+    const auto leaves = make_leaves(8);
+    const auto root = merkle_root(leaves);
+    auto proof = merkle_prove(leaves, 2);
+    proof.siblings.push_back(proof.siblings.back());
+    EXPECT_FALSE(merkle_verify(root, 8, leaves[2], proof));
+}
+
+TEST(MerkleProof, ZeroLeafCountFails) {
+    const auto leaves = make_leaves(1);
+    const auto proof = merkle_prove(leaves, 0);
+    EXPECT_FALSE(merkle_verify(merkle_root(leaves), 0, leaves[0], proof));
+}
+
+}  // namespace
+}  // namespace zc::chain

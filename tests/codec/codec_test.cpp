@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "codec/codec.hpp"
+
+namespace zc::codec {
+namespace {
+
+TEST(Codec, FixedWidthRoundTrip) {
+    Writer w;
+    w.u8(0xab);
+    w.u16(0x1234);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefULL);
+    w.i64(-42);
+    w.f64(3.25);
+
+    Reader r(w.buffer());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0x1234);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.f64(), 3.25);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, VarintRoundTripBoundaries) {
+    const std::uint64_t values[] = {0,
+                                    1,
+                                    127,
+                                    128,
+                                    16383,
+                                    16384,
+                                    (1ull << 32) - 1,
+                                    1ull << 32,
+                                    std::numeric_limits<std::uint64_t>::max()};
+    Writer w;
+    for (auto v : values) w.varint(v);
+    Reader r(w.buffer());
+    for (auto v : values) EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, VarintEncodingLengths) {
+    Writer w;
+    w.varint(127);
+    EXPECT_EQ(w.size(), 1u);
+    Writer w2;
+    w2.varint(128);
+    EXPECT_EQ(w2.size(), 2u);
+    Writer w3;
+    w3.varint(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(w3.size(), 10u);
+}
+
+TEST(Codec, BytesRoundTrip) {
+    Writer w;
+    w.bytes(to_bytes("payload"));
+    w.bytes({});
+    w.str("text");
+
+    Reader r(w.buffer());
+    EXPECT_EQ(to_string(r.bytes()), "payload");
+    EXPECT_TRUE(r.bytes().empty());
+    EXPECT_EQ(r.str(), "text");
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, RawArrayRoundTrip) {
+    std::array<std::uint8_t, 4> in{1, 2, 3, 4};
+    Writer w;
+    w.raw(in);
+    Reader r(w.buffer());
+    EXPECT_EQ(r.raw_array<4>(), in);
+}
+
+TEST(Codec, ReadPastEndThrows) {
+    Writer w;
+    w.u8(1);
+    Reader r(w.buffer());
+    r.u8();
+    EXPECT_THROW(r.u8(), DecodeError);
+    EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(Codec, TruncatedBytesThrows) {
+    Writer w;
+    w.varint(100);  // claims 100 bytes, provides none
+    Reader r(w.buffer());
+    EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Codec, OversizedLengthRejected) {
+    Writer w;
+    w.varint(1ull << 40);
+    Reader r(w.buffer());
+    EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Codec, MaxLenParameterEnforced) {
+    Writer w;
+    w.bytes(Bytes(100, 0x11));
+    Reader r(w.buffer());
+    EXPECT_THROW(r.bytes(50), DecodeError);
+}
+
+TEST(Codec, MalformedVarintThrows) {
+    // 11 continuation bytes: longer than any valid varint.
+    const Bytes bad(11, 0xff);
+    Reader r(bad);
+    EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Codec, ExpectDoneDetectsTrailingGarbage) {
+    Writer w;
+    w.u8(1);
+    w.u8(2);
+    Reader r(w.buffer());
+    r.u8();
+    EXPECT_THROW(r.expect_done(), DecodeError);
+    r.u8();
+    EXPECT_NO_THROW(r.expect_done());
+}
+
+struct TestMsg {
+    std::uint64_t a = 0;
+    Bytes b;
+
+    void encode(Writer& w) const {
+        w.u64(a);
+        w.bytes(b);
+    }
+    static TestMsg decode(Reader& r) {
+        TestMsg m;
+        m.a = r.u64();
+        m.b = r.bytes();
+        return m;
+    }
+};
+
+TEST(Codec, MessageHelpersRoundTrip) {
+    TestMsg m;
+    m.a = 99;
+    m.b = to_bytes("data");
+    const Bytes encoded = encode_to_bytes(m);
+    const TestMsg back = decode_from_bytes<TestMsg>(encoded);
+    EXPECT_EQ(back.a, 99u);
+    EXPECT_EQ(back.b, to_bytes("data"));
+}
+
+TEST(Codec, TryDecodeReturnsNulloptOnCorruption) {
+    TestMsg m;
+    m.a = 1;
+    m.b = to_bytes("data");
+    Bytes encoded = encode_to_bytes(m);
+    encoded.resize(encoded.size() - 2);  // truncate
+    EXPECT_FALSE(try_decode<TestMsg>(encoded).has_value());
+}
+
+TEST(Codec, TryDecodeRejectsTrailingBytes) {
+    TestMsg m;
+    Bytes encoded = encode_to_bytes(m);
+    encoded.push_back(0x00);
+    EXPECT_FALSE(try_decode<TestMsg>(encoded).has_value());
+}
+
+}  // namespace
+}  // namespace zc::codec

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/hex.hpp"
+
+namespace zc {
+namespace {
+
+TEST(Bytes, ToBytesRoundTrip) {
+    const Bytes b = to_bytes("zugchain");
+    EXPECT_EQ(b.size(), 8u);
+    EXPECT_EQ(to_string(b), "zugchain");
+}
+
+TEST(Bytes, AppendConcatenates) {
+    Bytes a = to_bytes("zug");
+    append(a, to_bytes("chain"));
+    EXPECT_EQ(to_string(a), "zugchain");
+}
+
+TEST(Bytes, EqualCtMatchesOnEqual) {
+    const Bytes a = to_bytes("same-content");
+    const Bytes b = to_bytes("same-content");
+    EXPECT_TRUE(equal_ct(a, b));
+}
+
+TEST(Bytes, EqualCtDetectsDifferenceAnywhere) {
+    const Bytes a = to_bytes("same-content");
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        Bytes b = a;
+        b[i] ^= 0x01;
+        EXPECT_FALSE(equal_ct(a, b)) << "difference at " << i;
+    }
+}
+
+TEST(Bytes, EqualCtLengthMismatch) {
+    EXPECT_FALSE(equal_ct(to_bytes("abc"), to_bytes("abcd")));
+}
+
+TEST(Bytes, Fnv1aDistinguishesInputs) {
+    EXPECT_NE(fnv1a(to_bytes("a")), fnv1a(to_bytes("b")));
+    EXPECT_EQ(fnv1a(to_bytes("stable")), fnv1a(to_bytes("stable")));
+}
+
+TEST(Hex, EncodesLowercase) {
+    EXPECT_EQ(to_hex(Bytes{0x00, 0xab, 0xff}), "00abff");
+}
+
+TEST(Hex, DecodesBothCases) {
+    const auto lower = from_hex("00abff");
+    const auto upper = from_hex("00ABFF");
+    ASSERT_TRUE(lower.has_value());
+    ASSERT_TRUE(upper.has_value());
+    EXPECT_EQ(*lower, *upper);
+    EXPECT_EQ(*lower, (Bytes{0x00, 0xab, 0xff}));
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, RejectsNonHex) { EXPECT_FALSE(from_hex("zz").has_value()); }
+
+TEST(Hex, RoundTripAllByteValues) {
+    Bytes all(256);
+    for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    const auto back = from_hex(to_hex(all));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, all);
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,27 @@
+#include <gtest/gtest.h>
+
+#include "common/format.hpp"
+
+namespace zc {
+namespace {
+
+TEST(Format, SubstitutesInOrder) {
+    EXPECT_EQ(format("a={} b={}", 1, "x"), "a=1 b=x");
+}
+
+TEST(Format, NoPlaceholders) { EXPECT_EQ(format("plain"), "plain"); }
+
+TEST(Format, SurplusArgumentsAppended) {
+    EXPECT_EQ(format("v={}", 1, 2), "v=1 2");
+}
+
+TEST(Format, SurplusPlaceholdersKept) {
+    EXPECT_EQ(format("a={} b={}", 7), "a=7 b={}");
+}
+
+TEST(Format, MixedTypes) {
+    EXPECT_EQ(format("{} {} {}", 1.5, 'c', true), "1.5 c 1");
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace zc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        if (rng.chance(0.3)) ++hits;
+    }
+    const double rate = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, NextRangeInclusive) {
+    Rng rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.next_range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+    Rng a(42), b(42);
+    Rng fa = a.fork("bus"), fb = b.fork("bus");
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(fa.next(), fb.next());
+
+    Rng c(42);
+    Rng other = c.fork("net");
+    Rng d(42);
+    Rng same_label = d.fork("bus");
+    EXPECT_NE(other.next(), same_label.next());
+}
+
+TEST(Rng, BytesFillsRequestedLength) {
+    Rng rng(13);
+    const Bytes b = rng.bytes(33);
+    EXPECT_EQ(b.size(), 33u);
+    // Not all zero.
+    bool nonzero = false;
+    for (auto v : b) nonzero |= (v != 0);
+    EXPECT_TRUE(nonzero);
+}
+
+}  // namespace
+}  // namespace zc

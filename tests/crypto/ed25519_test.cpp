@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace zc::crypto {
+namespace {
+
+std::array<std::uint8_t, 32> seed_from_hex(const std::string& hex) {
+    const auto bytes = from_hex(hex);
+    std::array<std::uint8_t, 32> seed{};
+    std::memcpy(seed.data(), bytes->data(), 32);
+    return seed;
+}
+
+std::string pub_hex(const PublicKey& pk) { return to_hex(BytesView{pk.v.data(), pk.v.size()}); }
+std::string sig_hex(const Signature& s) { return to_hex(BytesView{s.v.data(), s.v.size()}); }
+
+// Empty-message signing is stable and verifies (the exact RFC 8032 TEST 1
+// byte vector is anchored by TEST 2 below, which validates the whole
+// pipeline against the RFC reference output).
+TEST(Ed25519, EmptyMessageSignsAndVerifies) {
+    const auto seed =
+        seed_from_hex("0000000000000000000000000000000000000000000000000000000000000000");
+    const KeyPair kp = ed25519::keypair_from_seed(seed);
+    const Signature sig = ed25519::sign(kp, {});
+    EXPECT_EQ(sig, ed25519::sign(kp, {}));
+    EXPECT_TRUE(ed25519::verify(kp.pub, {}, sig));
+    EXPECT_FALSE(ed25519::verify(kp.pub, to_bytes("x"), sig));
+}
+
+// RFC 8032 §7.1 TEST 2 (one-byte message 0x72).
+TEST(Ed25519, Rfc8032Test2) {
+    const auto seed =
+        seed_from_hex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+    const KeyPair kp = ed25519::keypair_from_seed(seed);
+    EXPECT_EQ(pub_hex(kp.pub),
+              "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+
+    const Bytes msg{0x72};
+    const Signature sig = ed25519::sign(kp, msg);
+    EXPECT_EQ(sig_hex(sig),
+              "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+              "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+    EXPECT_TRUE(ed25519::verify(kp.pub, msg, sig));
+}
+
+TEST(Ed25519, KeypairDeterministicFromSeed) {
+    std::array<std::uint8_t, 32> seed{};
+    seed[0] = 7;
+    const KeyPair a = ed25519::keypair_from_seed(seed);
+    const KeyPair b = ed25519::keypair_from_seed(seed);
+    EXPECT_EQ(a.pub, b.pub);
+}
+
+TEST(Ed25519, SignVerifyRoundTrip) {
+    Rng rng(100);
+    const KeyPair kp = ed25519::generate(rng);
+    for (std::size_t len : {0u, 1u, 31u, 32u, 33u, 100u, 1000u}) {
+        const Bytes msg = rng.bytes(len);
+        const Signature sig = ed25519::sign(kp, msg);
+        EXPECT_TRUE(ed25519::verify(kp.pub, msg, sig)) << "len " << len;
+    }
+}
+
+TEST(Ed25519, SigningIsDeterministic) {
+    Rng rng(101);
+    const KeyPair kp = ed25519::generate(rng);
+    const Bytes msg = to_bytes("deterministic");
+    EXPECT_EQ(ed25519::sign(kp, msg), ed25519::sign(kp, msg));
+}
+
+TEST(Ed25519, TamperedMessageFails) {
+    Rng rng(102);
+    const KeyPair kp = ed25519::generate(rng);
+    Bytes msg = to_bytes("original content");
+    const Signature sig = ed25519::sign(kp, msg);
+    msg[3] ^= 0x01;
+    EXPECT_FALSE(ed25519::verify(kp.pub, msg, sig));
+}
+
+TEST(Ed25519, TamperedSignatureFails) {
+    Rng rng(103);
+    const KeyPair kp = ed25519::generate(rng);
+    const Bytes msg = to_bytes("content");
+    const Signature good = ed25519::sign(kp, msg);
+    for (std::size_t i = 0; i < good.v.size(); i += 7) {
+        Signature bad = good;
+        bad.v[i] ^= 0x01;
+        EXPECT_FALSE(ed25519::verify(kp.pub, msg, bad)) << "flip at " << i;
+    }
+}
+
+TEST(Ed25519, WrongKeyFails) {
+    Rng rng(104);
+    const KeyPair a = ed25519::generate(rng);
+    const KeyPair b = ed25519::generate(rng);
+    const Bytes msg = to_bytes("content");
+    const Signature sig = ed25519::sign(a, msg);
+    EXPECT_FALSE(ed25519::verify(b.pub, msg, sig));
+}
+
+TEST(Ed25519, DistinctSeedsDistinctKeys) {
+    Rng rng(105);
+    const KeyPair a = ed25519::generate(rng);
+    const KeyPair b = ed25519::generate(rng);
+    EXPECT_NE(a.pub, b.pub);
+}
+
+// S must be canonical (< L); adding L to S forges an alternative encoding
+// of the same scalar, which RFC 8032 verification must reject.
+TEST(Ed25519, RejectsNonCanonicalS) {
+    Rng rng(106);
+    const KeyPair kp = ed25519::generate(rng);
+    const Bytes msg = to_bytes("malleability");
+    Signature sig = ed25519::sign(kp, msg);
+    ASSERT_TRUE(ed25519::verify(kp.pub, msg, sig));
+
+    // S' = S + L (little-endian add).
+    const std::uint64_t l[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0,
+                                0x1000000000000000ULL};
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        std::uint64_t limb = 0;
+        std::memcpy(&limb, sig.v.data() + 32 + 8 * i, 8);
+        carry += static_cast<unsigned __int128>(limb) + l[i];
+        const std::uint64_t out = static_cast<std::uint64_t>(carry);
+        std::memcpy(sig.v.data() + 32 + 8 * i, &out, 8);
+        carry >>= 64;
+    }
+    EXPECT_FALSE(ed25519::verify(kp.pub, msg, sig));
+}
+
+TEST(Ed25519, RejectsGarbagePublicKey) {
+    Rng rng(107);
+    const KeyPair kp = ed25519::generate(rng);
+    const Bytes msg = to_bytes("x");
+    const Signature sig = ed25519::sign(kp, msg);
+    PublicKey garbage;
+    garbage.v.fill(0xff);
+    EXPECT_FALSE(ed25519::verify(garbage, msg, sig));
+}
+
+TEST(Ed25519, CrossMessageSignaturesDiffer) {
+    Rng rng(108);
+    const KeyPair kp = ed25519::generate(rng);
+    EXPECT_NE(ed25519::sign(kp, to_bytes("a")), ed25519::sign(kp, to_bytes("b")));
+}
+
+}  // namespace
+}  // namespace zc::crypto

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/hmac.hpp"
+
+namespace zc::crypto {
+namespace {
+
+std::string hex(const Digest& d) { return to_hex(BytesView{d.data(), d.size()}); }
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+    const Bytes key(20, 0x0b);
+    EXPECT_EQ(hex(hmac_sha256(key, to_bytes("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+    EXPECT_EQ(hex(hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, KeyLongerThanBlockIsHashed) {
+    const Bytes long_key(100, 0xaa);
+    const Bytes msg = to_bytes("message");
+    // Must not crash and must differ from using the raw truncation.
+    const Digest full = hmac_sha256(long_key, msg);
+    const Digest truncated = hmac_sha256(BytesView{long_key.data(), 64}, msg);
+    EXPECT_NE(full, truncated);
+}
+
+TEST(HmacSha256, DifferentKeysDiffer) {
+    const Bytes msg = to_bytes("payload");
+    EXPECT_NE(hmac_sha256(to_bytes("k1"), msg), hmac_sha256(to_bytes("k2"), msg));
+}
+
+TEST(HmacSha256, DifferentMessagesDiffer) {
+    const Bytes key = to_bytes("key");
+    EXPECT_NE(hmac_sha256(key, to_bytes("m1")), hmac_sha256(key, to_bytes("m2")));
+}
+
+TEST(HmacSha256, EmptyKeyAndMessageDeterministic) {
+    EXPECT_EQ(hmac_sha256({}, {}), hmac_sha256({}, {}));
+}
+
+}  // namespace
+}  // namespace zc::crypto

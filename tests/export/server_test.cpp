@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "export/server.hpp"
+
+namespace zc::exporter {
+namespace {
+
+struct MockServerTransport final : ServerTransport {
+    void to_data_center(DataCenterId dc, const ExportMessage& m) override {
+        sent.emplace_back(dc, m);
+    }
+    std::vector<std::pair<DataCenterId, ExportMessage>> sent;
+};
+
+struct ServerFixture : ::testing::Test {
+    ServerFixture() {
+        Rng keyrng(3);
+        for (std::uint32_t i = 0; i < 4; ++i) {
+            replica_keys.push_back(provider.generate(keyrng));
+            directory.register_key(i, replica_keys.back().pub);
+        }
+        for (std::uint32_t d = 0; d < 2; ++d) {
+            dc_keys.push_back(provider.generate(keyrng));
+            directory.register_key(dc_key_id(d), dc_keys.back().pub);
+        }
+        crypto = std::make_unique<crypto::CryptoContext>(provider, directory, replica_keys[0],
+                                                         costs, meter);
+        ServerConfig cfg;
+        cfg.id = 0;
+        cfg.checkpoint_interval = 10;
+        cfg.delete_quorum = 2;
+        server = std::make_unique<ExportServer>(cfg, *crypto, store, transport);
+        server->set_proof_provider([this]() -> const pbft::CheckpointProof* {
+            return proof.has_value() ? &*proof : nullptr;
+        });
+    }
+
+    void extend_chain(int blocks) {
+        for (int i = 0; i < blocks; ++i) {
+            const Height h = store.head_height() + 1;
+            std::vector<chain::LoggedRequest> reqs;
+            chain::LoggedRequest r;
+            r.payload = to_bytes("data-" + std::to_string(h));
+            r.origin = 0;
+            r.seq = h * 10;
+            reqs.push_back(r);
+            store.append(chain::Block::build(h, store.head_hash(),
+                                             static_cast<std::int64_t>(h), std::move(reqs)));
+        }
+    }
+
+    /// A stable checkpoint proof certifying the current head.
+    void make_proof() {
+        pbft::CheckpointProof p;
+        p.seq = store.head_height() * 10;
+        p.state = store.head_hash();
+        for (NodeId i = 0; i < 3; ++i) {
+            pbft::Checkpoint c;
+            c.seq = p.seq;
+            c.state = p.state;
+            c.replica = i;
+            crypto::WorkMeter m;
+            crypto::CryptoContext ctx(provider, directory, replica_keys[i], costs, m);
+            c.sig = ctx.sign(c.signing_bytes());
+            p.messages.push_back(c);
+        }
+        proof = p;
+    }
+
+    ReadRequest make_read(DataCenterId dc, Height last, NodeId full_from) {
+        ReadRequest m;
+        m.dc = dc;
+        m.last_height = last;
+        m.full_from = full_from;
+        crypto::WorkMeter wm;
+        crypto::CryptoContext ctx(provider, directory, dc_keys[dc], costs, wm);
+        m.sig = ctx.sign(m.signing_bytes());
+        return m;
+    }
+
+    DeleteCmd make_delete(DataCenterId dc, Height height, const crypto::Digest& hash) {
+        DeleteCmd m;
+        m.dc = dc;
+        m.height = height;
+        m.block_hash = hash;
+        crypto::WorkMeter wm;
+        crypto::CryptoContext ctx(provider, directory, dc_keys[dc], costs, wm);
+        m.sig = ctx.sign(m.signing_bytes());
+        return m;
+    }
+
+    crypto::FastProvider provider;
+    crypto::KeyDirectory directory;
+    std::vector<crypto::KeyPair> replica_keys;
+    std::vector<crypto::KeyPair> dc_keys;
+    metrics::CostModel costs;
+    crypto::WorkMeter meter;
+    std::unique_ptr<crypto::CryptoContext> crypto;
+    chain::BlockStore store;
+    MockServerTransport transport;
+    std::optional<pbft::CheckpointProof> proof;
+    std::unique_ptr<ExportServer> server;
+};
+
+TEST_F(ServerFixture, ReadRepliesWithProofAndBlocksWhenChosen) {
+    extend_chain(5);
+    make_proof();
+    server->on_message(ExportMessage{make_read(0, 0, /*full_from=*/0)});
+    ASSERT_EQ(transport.sent.size(), 1u);
+    EXPECT_EQ(transport.sent[0].first, 0u);
+    const auto& reply = std::get<ReadReply>(transport.sent[0].second);
+    EXPECT_EQ(reply.replica, 0u);
+    EXPECT_EQ(reply.proof.state, store.head_hash());
+    EXPECT_EQ(reply.blocks.size(), 5u);  // heights 1..5
+}
+
+TEST_F(ServerFixture, ReadWithoutBlocksWhenNotChosen) {
+    extend_chain(5);
+    make_proof();
+    server->on_message(ExportMessage{make_read(0, 0, /*full_from=*/2)});
+    ASSERT_EQ(transport.sent.size(), 1u);
+    EXPECT_TRUE(std::get<ReadReply>(transport.sent[0].second).blocks.empty());
+}
+
+TEST_F(ServerFixture, ReadIgnoredBeforeFirstCheckpoint) {
+    extend_chain(5);
+    server->on_message(ExportMessage{make_read(0, 0, 0)});
+    EXPECT_TRUE(transport.sent.empty());
+}
+
+TEST_F(ServerFixture, ReadWithBadSignatureIgnored) {
+    extend_chain(2);
+    make_proof();
+    ReadRequest bad = make_read(0, 0, 0);
+    bad.last_height = 1;  // invalidates signature
+    server->on_message(ExportMessage{bad});
+    EXPECT_TRUE(transport.sent.empty());
+    EXPECT_EQ(server->stats().invalid_messages, 1u);
+}
+
+TEST_F(ServerFixture, DeleteQuorumPrunes) {
+    extend_chain(6);
+    const crypto::Digest hash4 = store.header(4)->hash();
+    server->on_message(ExportMessage{make_delete(0, 4, hash4)});
+    EXPECT_EQ(store.base_height(), 0u);  // single delete: not enough
+    server->on_message(ExportMessage{make_delete(1, 4, hash4)});
+    EXPECT_EQ(store.base_height(), 4u);
+    EXPECT_EQ(server->stats().deletes_executed, 1u);
+
+    // Both DCs get an executed ack.
+    int acks = 0;
+    for (const auto& [dc, m] : transport.sent) {
+        if (const auto* ack = std::get_if<DeleteAck>(&m)) {
+            EXPECT_TRUE(ack->executed);
+            EXPECT_EQ(ack->height, 4u);
+            ++acks;
+        }
+    }
+    EXPECT_EQ(acks, 2);
+
+    // The prune anchor carries the two signed deletes as evidence.
+    ASSERT_TRUE(store.anchor().has_value());
+    const auto evidence = decode_delete_evidence(store.anchor()->evidence);
+    ASSERT_TRUE(evidence.has_value());
+    EXPECT_EQ(evidence->size(), 2u);
+}
+
+TEST_F(ServerFixture, DeleteForFutureBlockDelayedUntilCreated) {
+    extend_chain(3);
+    // Both DCs ask to prune at height 5, which does not exist yet.
+    // (They can know the hash via another replica that is ahead.)
+    chain::BlockStore ahead;
+    for (int i = 0; i < 5; ++i) {
+        const Height h = ahead.head_height() + 1;
+        std::vector<chain::LoggedRequest> reqs;
+        chain::LoggedRequest r;
+        r.payload = to_bytes("data-" + std::to_string(h));
+        r.origin = 0;
+        r.seq = h * 10;
+        reqs.push_back(r);
+        ahead.append(chain::Block::build(h, ahead.head_hash(), static_cast<std::int64_t>(h),
+                                         std::move(reqs)));
+    }
+    const crypto::Digest hash5 = ahead.header(5)->hash();
+    server->on_message(ExportMessage{make_delete(0, 5, hash5)});
+    server->on_message(ExportMessage{make_delete(1, 5, hash5)});
+    EXPECT_EQ(server->stats().deletes_delayed, 1u);
+    EXPECT_EQ(store.base_height(), 0u);
+
+    // Blocks 4 and 5 get created; the delayed delete executes.
+    extend_chain(2);
+    server->on_new_block();
+    EXPECT_EQ(store.base_height(), 5u);
+}
+
+TEST_F(ServerFixture, DeleteWithWrongHashRejected) {
+    extend_chain(4);
+    crypto::Digest bogus{};
+    bogus.fill(0xee);
+    server->on_message(ExportMessage{make_delete(0, 3, bogus)});
+    server->on_message(ExportMessage{make_delete(1, 3, bogus)});
+    EXPECT_EQ(store.base_height(), 0u);
+    EXPECT_EQ(server->stats().deletes_rejected, 2u);
+    // Negative acks are sent.
+    bool saw_nack = false;
+    for (const auto& [dc, m] : transport.sent) {
+        if (const auto* ack = std::get_if<DeleteAck>(&m)) saw_nack |= !ack->executed;
+    }
+    EXPECT_TRUE(saw_nack);
+}
+
+TEST_F(ServerFixture, BlockFetchServesRange) {
+    extend_chain(8);
+    BlockFetch fetch;
+    fetch.dc = 0;
+    fetch.from = 3;
+    fetch.to = 6;
+    crypto::WorkMeter wm;
+    crypto::CryptoContext ctx(provider, directory, dc_keys[0], costs, wm);
+    fetch.sig = ctx.sign(fetch.signing_bytes());
+    server->on_message(ExportMessage{fetch});
+    ASSERT_EQ(transport.sent.size(), 1u);
+    const auto& reply = std::get<BlockFetchReply>(transport.sent[0].second);
+    ASSERT_EQ(reply.blocks.size(), 4u);
+    EXPECT_EQ(reply.blocks.front().header.height, 3u);
+    EXPECT_EQ(reply.blocks.back().header.height, 6u);
+}
+
+TEST_F(ServerFixture, IdempotentDeleteAfterPrune) {
+    extend_chain(6);
+    const crypto::Digest hash4 = store.header(4)->hash();
+    server->on_message(ExportMessage{make_delete(0, 4, hash4)});
+    server->on_message(ExportMessage{make_delete(1, 4, hash4)});
+    ASSERT_EQ(store.base_height(), 4u);
+    // Re-delivery of an older delete is harmless.
+    server->on_message(ExportMessage{make_delete(0, 2, crypto::Digest{})});
+    server->on_message(ExportMessage{make_delete(1, 2, crypto::Digest{})});
+    EXPECT_EQ(store.base_height(), 4u);
+}
+
+}  // namespace
+}  // namespace zc::exporter

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "metrics/memory.hpp"
+
+namespace zc::metrics {
+namespace {
+
+TEST(MemoryTracker, GaugeByNameIsStable) {
+    MemoryTracker t;
+    Gauge* a = t.gauge("queue");
+    Gauge* b = t.gauge("queue");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, t.gauge("chain"));
+}
+
+TEST(MemoryTracker, TotalsIncludeBase) {
+    MemoryTracker t;
+    EXPECT_EQ(t.total_bytes(), MemoryTracker::kProcessBaseBytes);
+    t.gauge("queue")->add(1000);
+    EXPECT_EQ(t.total_bytes(), MemoryTracker::kProcessBaseBytes + 1000);
+}
+
+TEST(MemoryTracker, GaugeAddAndRemove) {
+    MemoryTracker t;
+    Gauge* g = t.gauge("g");
+    g->add(500);
+    g->add(-200);
+    EXPECT_EQ(g->value(), 300);
+    EXPECT_EQ(g->underflows(), 0u);
+}
+
+TEST(MemoryTracker, UnderflowClampsAndCounts) {
+    MemoryTracker t;
+    Gauge* g = t.gauge("g");
+    g->add(-10);
+    EXPECT_EQ(g->value(), 0);
+    EXPECT_EQ(g->underflows(), 1u);
+    EXPECT_EQ(t.underflows(), 1u);
+}
+
+TEST(MemoryTracker, SamplesInMegabytes) {
+    MemoryTracker t;
+    t.gauge("g")->add(1 << 20);
+    t.sample();
+    const double expected =
+        static_cast<double>(MemoryTracker::kProcessBaseBytes + (1 << 20)) / (1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(t.samples_mb().max(), expected);
+}
+
+TEST(MemoryTracker, PeakTracksHighWater) {
+    MemoryTracker t;
+    Gauge* g = t.gauge("g");
+    g->add(10 << 20);
+    t.sample();
+    g->add(-(10 << 20));
+    t.sample();
+    EXPECT_GT(t.samples_mb().max(), t.samples_mb().min());
+}
+
+}  // namespace
+}  // namespace zc::metrics

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "metrics/stats.hpp"
+
+namespace zc::metrics {
+namespace {
+
+TEST(Summary, BasicStatistics) {
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, EmptyIsSafe) {
+    Summary s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_THROW(s.percentile(0.5), std::logic_error);
+}
+
+TEST(Summary, Percentiles) {
+    Summary s;
+    for (int i = 1; i <= 100; ++i) s.add(i);
+    EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(s.percentile(1.0), 100.0, 1e-9);
+    EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(0.99), 99.01, 1e-6);
+}
+
+TEST(Summary, PercentileOutOfRangeThrows) {
+    Summary s;
+    s.add(1.0);
+    EXPECT_THROW(s.percentile(-0.1), std::invalid_argument);
+    EXPECT_THROW(s.percentile(1.1), std::invalid_argument);
+}
+
+TEST(Summary, PercentileThenAddStillCorrect) {
+    Summary s;
+    s.add(3.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 3.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+}
+
+TEST(Summary, MergeCombines) {
+    Summary a, b;
+    a.add(1.0);
+    a.add(2.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(LatencyRecorder, RecordsMillis) {
+    LatencyRecorder r;
+    r.record(milliseconds(14));
+    r.record(microseconds(500));
+    EXPECT_DOUBLE_EQ(r.millis().max(), 14.0);
+    EXPECT_DOUBLE_EQ(r.millis().min(), 0.5);
+}
+
+TEST(Series, StoresPoints) {
+    Series s;
+    s.add(milliseconds(1500), 42.0);
+    ASSERT_EQ(s.points().size(), 1u);
+    EXPECT_DOUBLE_EQ(s.points()[0].t_seconds, 1.5);
+    EXPECT_DOUBLE_EQ(s.points()[0].value, 42.0);
+}
+
+}  // namespace
+}  // namespace zc::metrics

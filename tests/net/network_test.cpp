@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace zc::net {
+namespace {
+
+struct Recorder final : Endpoint {
+    struct Received {
+        EndpointId from;
+        Bytes msg;
+        TimePoint at;
+    };
+    explicit Recorder(sim::Simulation& sim) : sim(sim) {}
+    void deliver(EndpointId from, Bytes message) override {
+        received.push_back({from, std::move(message), sim.now()});
+    }
+    sim::Simulation& sim;
+    std::vector<Received> received;
+};
+
+struct NetFixture : ::testing::Test {
+    NetFixture() : sim(7), net(sim), a(sim), b(sim) {
+        net.attach(0, &a);
+        net.attach(1, &b);
+        LinkProfile p;
+        p.latency = milliseconds(1);
+        p.jitter = Duration::zero();
+        p.bandwidth_bps = 100e6;
+        p.loss = 0.0;
+        net.set_default_profile(p);
+    }
+    sim::Simulation sim;
+    Network net;
+    Recorder a, b;
+};
+
+TEST_F(NetFixture, DeliversWithLatencyAndSerialization) {
+    net.send(0, 1, Bytes(1184, 0x11));  // 1184 + 66 overhead = 1250 B = 100 us at 100 Mbit/s
+    sim.run();
+    ASSERT_EQ(b.received.size(), 1u);
+    EXPECT_EQ(b.received[0].from, 0u);
+    EXPECT_EQ(b.received[0].msg.size(), 1184u);
+    EXPECT_EQ(b.received[0].at, milliseconds(1) + microseconds(100));
+}
+
+TEST_F(NetFixture, EgressSerializationQueues) {
+    // Two 1250-wire-byte messages back to back share the NIC.
+    net.send(0, 1, Bytes(1184, 0x01));
+    net.send(0, 1, Bytes(1184, 0x02));
+    sim.run();
+    ASSERT_EQ(b.received.size(), 2u);
+    EXPECT_EQ(b.received[0].at, milliseconds(1) + microseconds(100));
+    EXPECT_EQ(b.received[1].at, milliseconds(1) + microseconds(200));
+}
+
+TEST_F(NetFixture, MetersBytesWithFraming) {
+    net.send(0, 1, Bytes(100, 0x00));
+    sim.run();
+    EXPECT_EQ(net.stats(0).bytes_sent, 100 + Network::kFrameOverhead);
+    EXPECT_EQ(net.stats(0).messages_sent, 1u);
+    EXPECT_EQ(net.stats(1).bytes_received, 100 + Network::kFrameOverhead);
+    EXPECT_EQ(net.stats(1).messages_received, 1u);
+    EXPECT_EQ(net.total_bytes_sent(), 100 + Network::kFrameOverhead);
+}
+
+TEST_F(NetFixture, BlockedLinkDropsMessages) {
+    net.set_blocked(0, 1, true);
+    net.send(0, 1, Bytes(10, 0x00));
+    sim.run();
+    EXPECT_TRUE(b.received.empty());
+    EXPECT_EQ(net.stats(0).messages_dropped, 1u);
+
+    net.set_blocked(0, 1, false);
+    net.send(0, 1, Bytes(10, 0x00));
+    sim.run();
+    EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetFixture, BlockIsDirectional) {
+    net.set_blocked(0, 1, true);
+    net.send(1, 0, Bytes(10, 0x00));
+    sim.run();
+    EXPECT_EQ(a.received.size(), 1u);
+}
+
+TEST_F(NetFixture, LossyLinkDropsApproximatelyAtRate) {
+    LinkProfile lossy;
+    lossy.latency = microseconds(10);
+    lossy.jitter = Duration::zero();
+    lossy.loss = 0.5;
+    net.set_profile(0, 1, lossy);
+    for (int i = 0; i < 1000; ++i) net.send(0, 1, Bytes(8, 0x00));
+    sim.run();
+    EXPECT_GT(b.received.size(), 350u);
+    EXPECT_LT(b.received.size(), 650u);
+    EXPECT_EQ(b.received.size() + net.stats(0).messages_dropped, 1000u);
+}
+
+TEST_F(NetFixture, JitterDelaysWithinBound) {
+    LinkProfile jittery;
+    jittery.latency = milliseconds(1);
+    jittery.jitter = milliseconds(2);
+    net.set_profile(0, 1, jittery);
+    for (int i = 0; i < 100; ++i) net.send(0, 1, Bytes(1, 0x00));
+    sim.run();
+    ASSERT_EQ(b.received.size(), 100u);
+    // All arrivals within [latency, latency + jitter + serialization*queue].
+    for (const auto& rec : b.received) {
+        EXPECT_GE(rec.at, milliseconds(1));
+        EXPECT_LE(rec.at, milliseconds(3) + microseconds(100 * 6));
+    }
+}
+
+TEST_F(NetFixture, LteProfileIsSlower) {
+    net.set_profile(0, 1, LinkProfile::lte());
+    net.send(0, 1, Bytes(100000, 0x00));
+    sim.run();
+    ASSERT_EQ(b.received.size(), 1u);
+    // ~100 kB at 8.5 Mbit/s is ~94 ms serialization + >=35 ms latency.
+    EXPECT_GT(b.received[0].at, milliseconds(120));
+}
+
+TEST_F(NetFixture, EgressUtilization) {
+    const TimePoint start = sim.now();
+    // 10 messages x 1250 wire bytes = 100,000 bits over 10 ms at 100 Mbit/s
+    // = 0.1 utilization over 10 ms window.
+    for (int i = 0; i < 10; ++i) net.send(0, 1, Bytes(1184, 0x00));
+    sim.run_until(start + milliseconds(10));
+    EXPECT_NEAR(net.egress_utilization(0, start, 0, 100e6), 0.1, 0.001);
+}
+
+TEST_F(NetFixture, UnknownEndpointDropsSilently) {
+    net.send(0, 99, Bytes(10, 0x00));
+    sim.run();  // must not crash
+}
+
+TEST_F(NetFixture, DeterministicAcrossRuns) {
+    // Same seed, same construction order => identical delivery times.
+    sim::Simulation sim2(7);
+    Network net2(sim2);
+    Recorder a2(sim2), b2(sim2);
+    net2.attach(0, &a2);
+    net2.attach(1, &b2);
+    LinkProfile p;
+    p.latency = milliseconds(1);
+    p.jitter = milliseconds(1);
+    net.set_default_profile(p);
+    net2.set_default_profile(p);
+
+    for (int i = 0; i < 20; ++i) {
+        net.send(0, 1, Bytes(64, 0x00));
+        net2.send(0, 1, Bytes(64, 0x00));
+    }
+    sim.run();
+    sim2.run();
+    ASSERT_EQ(b.received.size(), b2.received.size());
+    for (std::size_t i = 0; i < b.received.size(); ++i) {
+        EXPECT_EQ(b.received[i].at, b2.received[i].at);
+    }
+}
+
+}  // namespace
+}  // namespace zc::net

@@ -1,0 +1,126 @@
+// Checkpoint/watermark edge cases and Byzantine checkpoint behaviour.
+#include <gtest/gtest.h>
+
+#include "pbft/harness.hpp"
+
+namespace zc::pbft {
+namespace {
+
+using testing::Cluster;
+
+TEST(PbftWatermarks, PrePrepareOutsideWindowIgnored) {
+    ReplicaConfig cfg;
+    cfg.watermark_window = 20;
+    Cluster c(4, cfg);
+
+    const Request r = c.make_request(0, 1, to_bytes("too-far"));
+    PrePrepare pp;
+    pp.view = 0;
+    pp.seq = 21;  // beyond low + window... (low = 0, window = 20) -> 21 out
+    pp.request = r;
+    pp.req_digest = r.digest();
+    pp.primary = 0;
+    pp.sig = c.crypto_of(0).sign(pp.signing_bytes());
+    c.replica(1).on_message(0, Message{pp});
+    c.sim.run();
+    EXPECT_TRUE(c.app(1).delivered.empty());
+    EXPECT_EQ(c.replica(1).stats().prepares_sent, 0u);
+}
+
+TEST(PbftWatermarks, SeqZeroAndReplayIgnored) {
+    Cluster c;
+    const Request r = c.make_request(0, 1, to_bytes("x"));
+    PrePrepare pp;
+    pp.view = 0;
+    pp.seq = 0;  // below low watermark
+    pp.request = r;
+    pp.req_digest = r.digest();
+    pp.primary = 0;
+    pp.sig = c.crypto_of(0).sign(pp.signing_bytes());
+    c.replica(1).on_message(0, Message{pp});
+    c.sim.run();
+    EXPECT_TRUE(c.app(1).delivered.empty());
+}
+
+TEST(PbftCheckpoint, ByzantineDigestCannotStabilizeAlone) {
+    ReplicaConfig cfg;
+    cfg.checkpoint_interval = 5;
+    Cluster c(4, cfg);
+    for (int i = 0; i < 5; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+    ASSERT_EQ(c.replica(1).last_stable(), 5u);
+    const crypto::Digest honest = c.replica(1).latest_stable_proof()->state;
+
+    // Node 3 broadcasts a *different* digest for the next checkpoint; it
+    // can never reach 2f+1 on its own, so the lie goes nowhere.
+    for (int i = 5; i < 10; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("y")));
+    }
+    Checkpoint lie;
+    lie.seq = 10;
+    lie.state.fill(0x66);
+    lie.replica = 3;
+    lie.sig = c.crypto_of(3).sign(lie.signing_bytes());
+    c.replica(1).on_message(3, Message{lie});
+    c.sim.run();
+
+    EXPECT_EQ(c.replica(1).last_stable(), 10u);
+    EXPECT_NE(c.replica(1).latest_stable_proof()->state, lie.state);
+    EXPECT_NE(honest, lie.state);
+}
+
+TEST(PbftCheckpoint, ProofRetentionBounded) {
+    ReplicaConfig cfg;
+    cfg.checkpoint_interval = 2;
+    cfg.proof_retention = 3;
+    Cluster c(4, cfg);
+    for (int i = 0; i < 20; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+    EXPECT_EQ(c.replica(1).last_stable(), 20u);
+    // Old proofs evicted; only the most recent `proof_retention` remain.
+    EXPECT_EQ(c.replica(1).stable_proof(2), nullptr);
+    EXPECT_NE(c.replica(1).stable_proof(20), nullptr);
+    EXPECT_NE(c.replica(1).stable_proof(16), nullptr);
+}
+
+TEST(PbftCheckpoint, StableProofQueryableBySeq) {
+    ReplicaConfig cfg;
+    cfg.checkpoint_interval = 5;
+    Cluster c(4, cfg);
+    for (int i = 0; i < 10; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+    const CheckpointProof* p5 = c.replica(2).stable_proof(5);
+    const CheckpointProof* p10 = c.replica(2).stable_proof(10);
+    ASSERT_NE(p5, nullptr);
+    ASSERT_NE(p10, nullptr);
+    EXPECT_EQ(p5->seq, 5u);
+    EXPECT_EQ(p10->seq, 10u);
+    EXPECT_NE(p5->state, p10->state);
+}
+
+TEST(PbftCheckpoint, DigestsDivergeIfAppsDiverge) {
+    // Sanity for the whole safety story: if (hypothetically) a replica's
+    // application state diverged, its checkpoint digest differs and the
+    // divergent node cannot contribute to the honest stable checkpoint.
+    Cluster c;
+    // Make node 3's app diverge by feeding it a fake deliver directly.
+    c.app(3).deliver(c.make_request(2, 999, to_bytes("divergence")), 0);
+    ReplicaConfig cfg;
+    cfg.checkpoint_interval = 10;
+    for (int i = 0; i < 10; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+    EXPECT_NE(c.app(3).state_digest(10), c.app(0).state_digest(10));
+    // The honest majority still stabilized without node 3's digest.
+    EXPECT_EQ(c.replica(0).last_stable(), 10u);
+}
+
+}  // namespace
+}  // namespace zc::pbft

@@ -1,0 +1,166 @@
+// In-process PBFT test cluster: n replicas wired through a scriptable
+// loopback transport on the discrete-event simulation. Tests inject
+// drops/delays per (from, to, message) to create Byzantine scenarios.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "pbft/replica.hpp"
+
+namespace zc::pbft::testing {
+
+/// Deterministic application: folds delivered request digests into a
+/// running hash, which doubles as the checkpoint state digest.
+class TestApp final : public Application {
+public:
+    void deliver(const Request& request, SeqNo seq) override {
+        delivered.emplace_back(request, seq);
+        if (!request.is_null()) {
+            crypto::Sha256 h;
+            h.update(state_.data(), state_.size());
+            const auto d = request.digest();
+            h.update(d.data(), d.size());
+            state_ = h.finalize();
+        }
+    }
+
+    crypto::Digest state_digest(SeqNo) override { return state_; }
+
+    void new_primary(View view, NodeId primary) override {
+        primaries.emplace_back(view, primary);
+    }
+
+    void stable_checkpoint(SeqNo seq, const CheckpointProof& proof) override {
+        stable.emplace_back(seq, proof);
+    }
+
+    void preprepared(const Request& request) override { preprepared_count += !request.is_null(); }
+
+    void sync_state(SeqNo seq, const crypto::Digest& state) override {
+        state_ = state;
+        syncs.emplace_back(seq, state);
+    }
+
+    std::vector<std::pair<Request, SeqNo>> delivered;
+    std::vector<std::pair<View, NodeId>> primaries;
+    std::vector<std::pair<SeqNo, CheckpointProof>> stable;
+    std::vector<std::pair<SeqNo, crypto::Digest>> syncs;
+    int preprepared_count = 0;
+
+private:
+    crypto::Digest state_{};
+};
+
+class Cluster;
+
+class LoopbackTransport final : public Transport {
+public:
+    LoopbackTransport(Cluster& cluster, NodeId self) : cluster_(cluster), self_(self) {}
+    void send(NodeId to, const Message& m) override;
+    void broadcast(const Message& m) override;
+
+private:
+    Cluster& cluster_;
+    NodeId self_;
+};
+
+class Cluster {
+public:
+    /// Returns true if the message should be dropped.
+    using DropFilter = std::function<bool(NodeId from, NodeId to, const Message&)>;
+
+    explicit Cluster(std::uint32_t n = 4, ReplicaConfig base = {}, std::uint64_t seed = 1)
+        : sim(seed), n_(n) {
+        Rng keyrng = sim.rng().fork("keys");
+        std::vector<crypto::KeyPair> keys;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            keys.push_back(provider.generate(keyrng));
+            directory.register_key(i, keys.back().pub);
+        }
+        for (std::uint32_t i = 0; i < n; ++i) {
+            auto node = std::make_unique<Node>();
+            node->meter = std::make_unique<crypto::WorkMeter>();
+            node->crypto = std::make_unique<crypto::CryptoContext>(provider, directory, keys[i],
+                                                                   costs, *node->meter);
+            node->app = std::make_unique<TestApp>();
+            node->transport = std::make_unique<LoopbackTransport>(*this, i);
+            ReplicaConfig cfg = base;
+            cfg.id = i;
+            cfg.n = n;
+            cfg.f = (n - 1) / 3;
+            node->replica = std::make_unique<Replica>(cfg, sim, *node->crypto, *node->transport,
+                                                      *node->app);
+            nodes_.push_back(std::move(node));
+        }
+    }
+
+    Replica& replica(NodeId id) { return *nodes_[id]->replica; }
+    TestApp& app(NodeId id) { return *nodes_[id]->app; }
+    crypto::CryptoContext& crypto_of(NodeId id) { return *nodes_[id]->crypto; }
+    std::uint32_t size() const { return n_; }
+
+    /// Builds a signed request originating at `origin`.
+    Request make_request(NodeId origin, std::uint64_t origin_seq, BytesView payload) {
+        Request r;
+        r.payload = Bytes(payload.begin(), payload.end());
+        r.origin = origin;
+        r.origin_seq = origin_seq;
+        r.sig = crypto_of(origin).sign(r.signing_bytes());
+        return r;
+    }
+
+    void deliver(NodeId from, NodeId to, const Message& m) {
+        if (drop_filter && drop_filter(from, to, m)) return;
+        const Duration d = delay_fn ? delay_fn(from, to, m) : microseconds(100);
+        sim.schedule(d, [this, from, to, m] {
+            if (crashed_[to]) return;
+            nodes_[to]->replica->on_message(from, m);
+        });
+    }
+
+    void crash(NodeId id) { crashed_[id] = true; }
+
+    /// True when every live replica has executed at least `seq`.
+    bool all_executed(SeqNo seq) {
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            if (crashed_[i]) continue;
+            if (nodes_[i]->replica->last_executed() < seq) return false;
+        }
+        return true;
+    }
+
+    sim::Simulation sim;
+    crypto::FastProvider provider;
+    crypto::KeyDirectory directory;
+    metrics::CostModel costs;
+    DropFilter drop_filter;
+    std::function<Duration(NodeId, NodeId, const Message&)> delay_fn;
+
+private:
+    struct Node {
+        std::unique_ptr<crypto::WorkMeter> meter;
+        std::unique_ptr<crypto::CryptoContext> crypto;
+        std::unique_ptr<TestApp> app;
+        std::unique_ptr<LoopbackTransport> transport;
+        std::unique_ptr<Replica> replica;
+    };
+
+    std::uint32_t n_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::map<NodeId, bool> crashed_;
+};
+
+inline void LoopbackTransport::send(NodeId to, const Message& m) {
+    cluster_.deliver(self_, to, m);
+}
+
+inline void LoopbackTransport::broadcast(const Message& m) {
+    for (std::uint32_t i = 0; i < cluster_.size(); ++i) {
+        if (i != self_) cluster_.deliver(self_, i, m);
+    }
+}
+
+}  // namespace zc::pbft::testing

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include "pbft/harness.hpp"
+
+namespace zc::pbft {
+namespace {
+
+using testing::Cluster;
+
+TEST(PbftOrdering, SingleRequestDecidedEverywhere) {
+    Cluster c;
+    const Request r = c.make_request(0, 1, to_bytes("cycle-1"));
+    c.replica(0).propose(r);
+    c.sim.run();
+
+    for (NodeId i = 0; i < 4; ++i) {
+        ASSERT_EQ(c.app(i).delivered.size(), 1u) << "replica " << i;
+        EXPECT_EQ(c.app(i).delivered[0].first, r);
+        EXPECT_EQ(c.app(i).delivered[0].second, 1u);
+    }
+}
+
+TEST(PbftOrdering, ManyRequestsSameOrderEverywhere) {
+    Cluster c;
+    for (int i = 0; i < 50; ++i) {
+        c.replica(0).propose(
+            c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("req-" + std::to_string(i))));
+    }
+    c.sim.run();
+
+    ASSERT_EQ(c.app(0).delivered.size(), 50u);
+    for (NodeId i = 1; i < 4; ++i) {
+        ASSERT_EQ(c.app(i).delivered.size(), 50u);
+        for (std::size_t k = 0; k < 50; ++k) {
+            EXPECT_EQ(c.app(i).delivered[k].first, c.app(0).delivered[k].first);
+            EXPECT_EQ(c.app(i).delivered[k].second, c.app(0).delivered[k].second);
+        }
+    }
+}
+
+TEST(PbftOrdering, DuplicateProposalFilteredByPrimary) {
+    Cluster c;
+    const Request r = c.make_request(1, 5, to_bytes("dup"));
+    c.replica(0).propose(r);
+    c.replica(0).propose(r);
+    c.sim.run();
+    EXPECT_EQ(c.app(0).delivered.size(), 1u);
+    EXPECT_EQ(c.replica(0).stats().duplicate_proposals_blocked, 1u);
+}
+
+TEST(PbftOrdering, SamePayloadDifferentOriginOrderedTwice) {
+    // Standard PBFT dedups full requests only — this is exactly why the
+    // baseline orders bus data up to n times (paper §VI).
+    Cluster c;
+    c.replica(0).propose(c.make_request(0, 1, to_bytes("identical")));
+    c.replica(0).propose(c.make_request(1, 1, to_bytes("identical")));
+    c.sim.run();
+    EXPECT_EQ(c.app(0).delivered.size(), 2u);
+}
+
+TEST(PbftOrdering, BackupProposeForwardsToPrimary) {
+    Cluster c;
+    c.replica(2).propose(c.make_request(2, 9, to_bytes("from-backup")));
+    c.sim.run();
+    for (NodeId i = 0; i < 4; ++i) {
+        ASSERT_EQ(c.app(i).delivered.size(), 1u);
+        EXPECT_EQ(c.app(i).delivered[0].first.origin, 2u);
+    }
+}
+
+TEST(PbftOrdering, ProgressWithOneCrashedBackup) {
+    Cluster c;
+    c.crash(3);
+    for (int i = 0; i < 10; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+    for (NodeId i = 0; i < 3; ++i) EXPECT_EQ(c.app(i).delivered.size(), 10u);
+}
+
+TEST(PbftOrdering, NoProgressWithTwoCrashedBackups) {
+    Cluster c;
+    c.crash(2);
+    c.crash(3);
+    c.replica(0).propose(c.make_request(0, 1, to_bytes("x")));
+    c.sim.run();
+    EXPECT_TRUE(c.app(0).delivered.empty());
+    EXPECT_TRUE(c.app(1).delivered.empty());
+}
+
+TEST(PbftOrdering, PrepreparedUpcallFires) {
+    Cluster c;
+    c.replica(0).propose(c.make_request(0, 1, to_bytes("x")));
+    c.sim.run();
+    EXPECT_GE(c.app(1).preprepared_count, 1);
+}
+
+TEST(PbftCheckpoint, StableAfterIntervalDecisions) {
+    ReplicaConfig cfg;
+    cfg.checkpoint_interval = 10;
+    Cluster c(4, cfg);
+    for (int i = 0; i < 10; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+    for (NodeId i = 0; i < 4; ++i) {
+        EXPECT_EQ(c.replica(i).last_stable(), 10u) << "replica " << i;
+        ASSERT_FALSE(c.app(i).stable.empty());
+        const auto& [seq, proof] = c.app(i).stable.back();
+        EXPECT_EQ(seq, 10u);
+        EXPECT_GE(proof.messages.size(), 3u);
+        EXPECT_EQ(proof.state, c.app(i).state_digest(10));
+    }
+}
+
+TEST(PbftCheckpoint, ProofSignaturesVerify) {
+    ReplicaConfig cfg;
+    cfg.checkpoint_interval = 5;
+    Cluster c(4, cfg);
+    for (int i = 0; i < 5; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+
+    const CheckpointProof* proof = c.replica(1).latest_stable_proof();
+    ASSERT_NE(proof, nullptr);
+    std::set<NodeId> signers;
+    for (const Checkpoint& ck : proof->messages) {
+        EXPECT_TRUE(c.crypto_of(0).verify(ck.replica, ck.signing_bytes(), ck.sig));
+        EXPECT_EQ(ck.seq, proof->seq);
+        EXPECT_EQ(ck.state, proof->state);
+        signers.insert(ck.replica);
+    }
+    EXPECT_GE(signers.size(), 3u);
+}
+
+TEST(PbftCheckpoint, LogGarbageCollected) {
+    metrics::MemoryTracker tracker;
+    (void)tracker;
+    ReplicaConfig cfg;
+    cfg.checkpoint_interval = 10;
+    Cluster c(4, cfg);
+    for (int i = 0; i < 40; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+    EXPECT_EQ(c.replica(1).last_stable(), 40u);
+    // A request digest decided long before the watermark horizon is
+    // eventually forgotten; recent ones are retained.
+    EXPECT_TRUE(c.replica(1).knows_request(c.make_request(0, 39, to_bytes("x")).digest()));
+}
+
+TEST(PbftCheckpoint, WatermarkBlockedProposalsDrainAfterCheckpoint) {
+    ReplicaConfig cfg;
+    cfg.checkpoint_interval = 10;
+    cfg.watermark_window = 20;
+    Cluster c(4, cfg);
+    // 60 proposals with a 20-wide window: must all decide eventually.
+    for (int i = 0; i < 60; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+    for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(c.app(i).delivered.size(), 60u);
+}
+
+TEST(PbftViewChange, SuspectElectsNextPrimary) {
+    Cluster c;
+    // Primary 0 goes silent; backups suspect it.
+    c.crash(0);
+    c.replica(1).suspect();
+    c.replica(2).suspect();
+    c.replica(3).suspect();
+    c.sim.run();
+    for (NodeId i = 1; i < 4; ++i) {
+        EXPECT_EQ(c.replica(i).view(), 1u) << "replica " << i;
+        EXPECT_EQ(c.replica(i).primary(), 1u);
+        ASSERT_FALSE(c.app(i).primaries.empty());
+        EXPECT_EQ(c.app(i).primaries.back().second, 1u);
+    }
+}
+
+TEST(PbftViewChange, OrderingResumesInNewView) {
+    Cluster c;
+    c.crash(0);
+    c.replica(1).suspect();
+    c.replica(2).suspect();
+    c.replica(3).suspect();
+    c.sim.run();
+    ASSERT_EQ(c.replica(1).primary(), 1u);
+
+    c.replica(1).propose(c.make_request(1, 1, to_bytes("post-vc")));
+    c.sim.run();
+    for (NodeId i = 1; i < 4; ++i) {
+        ASSERT_EQ(c.app(i).delivered.size(), 1u);
+        EXPECT_EQ(c.app(i).delivered[0].first.origin, 1u);
+    }
+}
+
+TEST(PbftViewChange, PreparedRequestSurvivesViewChange) {
+    Cluster c;
+    // Let the primary preprepare + gather prepares, but block all commits
+    // so nothing executes; then change views. The new primary must
+    // re-propose the prepared request.
+    c.drop_filter = [](NodeId, NodeId, const Message& m) {
+        return std::holds_alternative<Commit>(m);
+    };
+    const Request r = c.make_request(0, 1, to_bytes("must-survive"));
+    c.replica(0).propose(r);
+    c.sim.run();
+    EXPECT_TRUE(c.app(1).delivered.empty());
+
+    c.drop_filter = nullptr;
+    c.crash(0);
+    c.replica(1).suspect();
+    c.replica(2).suspect();
+    c.replica(3).suspect();
+    c.sim.run();
+
+    for (NodeId i = 1; i < 4; ++i) {
+        ASSERT_EQ(c.app(i).delivered.size(), 1u) << "replica " << i;
+        EXPECT_EQ(c.app(i).delivered[0].first, r);
+        EXPECT_EQ(c.app(i).delivered[0].second, 1u);
+    }
+}
+
+TEST(PbftViewChange, SingleSuspectDoesNotChangeView) {
+    // One faulty suspicion must not move the group (f+1 join rule). The
+    // suspecting replica keeps escalating on its timer, so the run must be
+    // time-bounded rather than drained.
+    Cluster c;
+    c.replica(3).suspect();
+    c.sim.run_until(seconds(1));
+    EXPECT_EQ(c.replica(0).view(), 0u);
+    EXPECT_EQ(c.replica(1).view(), 0u);
+    EXPECT_EQ(c.replica(2).view(), 0u);
+    // The others keep operating in view 0.
+    c.replica(0).propose(c.make_request(0, 1, to_bytes("still-v0")));
+    c.sim.run_until(c.sim.now() + milliseconds(100));
+    EXPECT_EQ(c.app(0).delivered.size(), 1u);
+}
+
+TEST(PbftViewChange, JoinRuleFollowsQuorumSuspicion) {
+    // f+1 = 2 suspicions pull the remaining correct replica along even
+    // without its own timeout.
+    Cluster c;
+    c.crash(0);
+    c.replica(1).suspect();
+    c.replica(2).suspect();
+    c.sim.run();
+    EXPECT_EQ(c.replica(3).view(), 1u);
+}
+
+TEST(PbftViewChange, RequestTimeoutTriggersViewChange) {
+    ReplicaConfig cfg;
+    cfg.request_timeout = milliseconds(500);
+    Cluster c(4, cfg);
+    // Primary 0 drops everything (censorship): backups that received the
+    // forwarded request time out and change views.
+    c.drop_filter = [](NodeId, NodeId to, const Message&) { return to == 0; };
+    const Request r = c.make_request(1, 1, to_bytes("censored"));
+    c.replica(1).propose(r);
+    c.replica(2).propose(r);
+    c.replica(3).propose(r);
+    c.sim.run();
+    EXPECT_GE(c.replica(1).view(), 1u);
+    // After the view change the request is re-proposed by clients in the
+    // baseline; here we just check the view moved and a new primary exists.
+    ASSERT_FALSE(c.app(2).primaries.empty());
+}
+
+TEST(PbftViewChange, CascadingTimeoutSkipsUnresponsiveNewPrimary) {
+    ReplicaConfig cfg;
+    cfg.view_change_timeout = milliseconds(300);
+    Cluster c(4, cfg);
+    c.crash(0);
+    c.crash(1);  // both the old and the would-be new primary are dead
+    c.replica(2).suspect();
+    c.replica(3).suspect();
+    c.sim.run_until(c.sim.now() + seconds(5));
+    // View 1's primary (1) never answers; with only 2 live replicas no
+    // 2f+1 quorum can form, so the survivors keep escalating targets (the
+    // installed view only advances on a NewView).
+    EXPECT_TRUE(c.replica(2).in_view_change());
+    EXPECT_GE(c.replica(2).stats().view_changes_started, 2u);
+    EXPECT_GE(c.replica(3).stats().view_changes_started, 2u);
+}
+
+TEST(PbftByzantine, EquivocatingPrimaryGetsSuspected) {
+    Cluster c;
+    // Craft two conflicting preprepares for seq 1 signed by the primary.
+    const Request r1 = c.make_request(0, 1, to_bytes("version-a"));
+    const Request r2 = c.make_request(0, 2, to_bytes("version-b"));
+
+    PrePrepare pp1;
+    pp1.view = 0;
+    pp1.seq = 1;
+    pp1.request = r1;
+    pp1.req_digest = r1.digest();
+    pp1.primary = 0;
+    pp1.sig = c.crypto_of(0).sign(pp1.signing_bytes());
+
+    PrePrepare pp2 = pp1;
+    pp2.request = r2;
+    pp2.req_digest = r2.digest();
+    pp2.sig = c.crypto_of(0).sign(pp2.signing_bytes());
+
+    c.replica(1).on_message(0, Message{pp1});
+    c.replica(1).on_message(0, Message{pp2});
+    EXPECT_GE(c.replica(1).stats().view_changes_started, 1u);
+}
+
+TEST(PbftByzantine, ForgedSignatureRejected) {
+    Cluster c;
+    const Request r = c.make_request(1, 1, to_bytes("payload"));
+    PrePrepare pp;
+    pp.view = 0;
+    pp.seq = 1;
+    pp.request = r;
+    pp.req_digest = r.digest();
+    pp.primary = 0;
+    pp.sig = c.crypto_of(2).sign(pp.signing_bytes());  // wrong signer
+
+    c.replica(1).on_message(0, Message{pp});
+    c.sim.run();
+    EXPECT_TRUE(c.app(1).delivered.empty());
+    EXPECT_GE(c.replica(1).stats().invalid_messages, 1u);
+}
+
+TEST(PbftByzantine, PrepareFromImpersonatorRejected) {
+    Cluster c;
+    const Request r = c.make_request(0, 1, to_bytes("x"));
+    c.replica(0).propose(r);
+    // Byzantine node 3 injects a prepare claiming to be from node 2.
+    Prepare p;
+    p.view = 0;
+    p.seq = 1;
+    p.req_digest = r.digest();
+    p.replica = 2;
+    p.sig = c.crypto_of(3).sign(p.signing_bytes());
+    c.replica(1).on_message(3, Message{p});  // transport says "from 3"
+    c.sim.run();
+    EXPECT_GE(c.replica(1).stats().invalid_messages, 1u);
+    // Ordering still completes correctly.
+    EXPECT_EQ(c.app(1).delivered.size(), 1u);
+}
+
+TEST(PbftByzantine, CorruptRequestSignatureNotOrdered) {
+    Cluster c;
+    Request r = c.make_request(1, 1, to_bytes("x"));
+    r.payload.push_back(0x00);  // invalidates the origin signature
+    c.replica(0).on_message(1, Message{r});
+    c.sim.run();
+    EXPECT_TRUE(c.app(0).delivered.empty());
+}
+
+TEST(PbftStateTransfer, LaggingReplicaSyncsViaCheckpoint) {
+    ReplicaConfig cfg;
+    cfg.checkpoint_interval = 10;
+    Cluster c(4, cfg);
+    // Node 3 misses everything until the checkpoint is stable elsewhere.
+    c.drop_filter = [](NodeId, NodeId to, const Message& m) {
+        return to == 3 && !std::holds_alternative<Checkpoint>(m);
+    };
+    for (int i = 0; i < 10; ++i) {
+        c.replica(0).propose(c.make_request(0, static_cast<std::uint64_t>(i), to_bytes("x")));
+    }
+    c.sim.run();
+    EXPECT_EQ(c.replica(3).last_executed(), 10u);
+    ASSERT_FALSE(c.app(3).syncs.empty());
+    EXPECT_EQ(c.app(3).syncs.back().first, 10u);
+    // Synced state matches the quorum's digest.
+    EXPECT_EQ(c.app(3).syncs.back().second, c.app(0).state_digest(10));
+}
+
+}  // namespace
+}  // namespace zc::pbft

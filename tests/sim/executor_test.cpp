@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "sim/executor.hpp"
+
+namespace zc::sim {
+namespace {
+
+TEST(MeteredExecutor, JobRunsImmediatelyWhenIdle) {
+    Simulation sim;
+    MeteredExecutor ex(sim, 1);
+    bool ran = false;
+    sim.schedule(milliseconds(5), [&] {
+        ex.submit([&] {
+            ran = true;
+            return milliseconds(2);
+        });
+        EXPECT_TRUE(ran);  // executes at submit time when a core is idle
+    });
+    sim.run();
+    EXPECT_EQ(ex.completed(), 1u);
+    EXPECT_EQ(ex.busy_time(), milliseconds(2));
+}
+
+TEST(MeteredExecutor, QueuedJobRunsWhenCoreFrees) {
+    Simulation sim;
+    MeteredExecutor ex(sim, 1);
+    std::vector<TimePoint> starts;
+    auto job = [&](Duration cost) {
+        return [&, cost] {
+            starts.push_back(sim.now());
+            return cost;
+        };
+    };
+    ex.submit(job(milliseconds(10)));
+    ex.submit(job(milliseconds(5)));
+    ex.submit(job(milliseconds(5)));
+    sim.run();
+    ASSERT_EQ(starts.size(), 3u);
+    EXPECT_EQ(starts[0], milliseconds(0));
+    EXPECT_EQ(starts[1], milliseconds(10));
+    EXPECT_EQ(starts[2], milliseconds(15));
+}
+
+TEST(MeteredExecutor, MultipleCoresOverlap) {
+    Simulation sim;
+    MeteredExecutor ex(sim, 2);
+    std::vector<TimePoint> starts;
+    for (int i = 0; i < 4; ++i) {
+        ex.submit([&] {
+            starts.push_back(sim.now());
+            return milliseconds(10);
+        });
+    }
+    sim.run();
+    ASSERT_EQ(starts.size(), 4u);
+    EXPECT_EQ(starts[0], milliseconds(0));
+    EXPECT_EQ(starts[1], milliseconds(0));
+    EXPECT_EQ(starts[2], milliseconds(10));
+    EXPECT_EQ(starts[3], milliseconds(10));
+}
+
+TEST(MeteredExecutor, QueueLimitDrops) {
+    Simulation sim;
+    MeteredExecutor ex(sim, 1, 2);
+    int ran = 0;
+    auto job = [&] {
+        ++ran;
+        return milliseconds(10);
+    };
+    EXPECT_TRUE(ex.submit(job));   // runs
+    EXPECT_TRUE(ex.submit(job));   // queued (1)
+    EXPECT_TRUE(ex.submit(job));   // queued (2)
+    EXPECT_FALSE(ex.submit(job));  // dropped
+    EXPECT_EQ(ex.dropped(), 1u);
+    sim.run();
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(MeteredExecutor, QueueDepthObservable) {
+    Simulation sim;
+    MeteredExecutor ex(sim, 1);
+    for (int i = 0; i < 5; ++i) {
+        ex.submit([] { return milliseconds(1); });
+    }
+    EXPECT_EQ(ex.queue_depth(), 4u);  // one running, four waiting
+    sim.run();
+    EXPECT_EQ(ex.queue_depth(), 0u);
+}
+
+TEST(MeteredExecutor, UtilizationReflectsBusyFraction) {
+    Simulation sim;
+    MeteredExecutor ex(sim, 1);
+    const TimePoint start = sim.now();
+    ex.submit([] { return milliseconds(25); });
+    sim.run_until(milliseconds(100));
+    EXPECT_NEAR(ex.utilization_since(start, Duration::zero()), 0.25, 1e-9);
+}
+
+TEST(MeteredExecutor, ZeroCoresRejected) {
+    Simulation sim;
+    EXPECT_THROW(MeteredExecutor(sim, 0), std::invalid_argument);
+}
+
+TEST(MeteredExecutor, JobsCanSubmitJobs) {
+    Simulation sim;
+    MeteredExecutor ex(sim, 1);
+    TimePoint second_start{-1};
+    ex.submit([&] {
+        ex.submit([&] {
+            second_start = sim.now();
+            return milliseconds(1);
+        });
+        return milliseconds(7);
+    });
+    sim.run();
+    EXPECT_EQ(second_start, milliseconds(7));
+}
+
+}  // namespace
+}  // namespace zc::sim

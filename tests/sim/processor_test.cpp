@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "sim/processor.hpp"
+
+namespace zc::sim {
+namespace {
+
+TEST(Processor, JobCompletesAfterCost) {
+    Simulation sim;
+    Processor cpu(sim, 1);
+    TimePoint done{-1};
+    cpu.submit(milliseconds(5), [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(done, milliseconds(5));
+}
+
+TEST(Processor, SingleCoreSerializesJobs) {
+    Simulation sim;
+    Processor cpu(sim, 1);
+    std::vector<TimePoint> done;
+    for (int i = 0; i < 3; ++i) {
+        cpu.submit(milliseconds(10), [&] { done.push_back(sim.now()); });
+    }
+    sim.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0], milliseconds(10));
+    EXPECT_EQ(done[1], milliseconds(20));
+    EXPECT_EQ(done[2], milliseconds(30));
+}
+
+TEST(Processor, MultiCoreRunsInParallel) {
+    Simulation sim;
+    Processor cpu(sim, 2);
+    std::vector<TimePoint> done;
+    for (int i = 0; i < 4; ++i) {
+        cpu.submit(milliseconds(10), [&] { done.push_back(sim.now()); });
+    }
+    sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_EQ(done[0], milliseconds(10));
+    EXPECT_EQ(done[1], milliseconds(10));
+    EXPECT_EQ(done[2], milliseconds(20));
+    EXPECT_EQ(done[3], milliseconds(20));
+}
+
+TEST(Processor, BusyTimeAccumulates) {
+    Simulation sim;
+    Processor cpu(sim, 2);
+    cpu.submit(milliseconds(10), [] {});
+    cpu.submit(milliseconds(20), [] {});
+    sim.run();
+    EXPECT_EQ(cpu.busy_time(), milliseconds(30));
+}
+
+TEST(Processor, BacklogGrowsUnderOverload) {
+    Simulation sim;
+    Processor cpu(sim, 1);
+    // Offer 2x capacity: every 10 ms, submit 20 ms of work.
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule(milliseconds(i * 10), [&] { cpu.submit(milliseconds(20), [] {}); });
+    }
+    sim.run_until(milliseconds(100));
+    EXPECT_GT(cpu.backlog(), milliseconds(50));
+}
+
+TEST(Processor, UtilizationFullyLoadedSingleCore) {
+    Simulation sim;
+    Processor cpu(sim, 1);
+    const TimePoint start = sim.now();
+    const Duration busy0 = cpu.busy_time();
+    cpu.submit(milliseconds(100), [] {});
+    sim.run_until(milliseconds(100));
+    EXPECT_NEAR(cpu.utilization_since(start, busy0), 1.0, 1e-9);
+}
+
+TEST(Processor, UtilizationHalfLoaded) {
+    Simulation sim;
+    Processor cpu(sim, 2);
+    const TimePoint start = sim.now();
+    cpu.submit(milliseconds(100), [] {});
+    sim.run_until(milliseconds(100));
+    // One of two cores busy -> utilization 1.0 core = "100 %" of 200 %.
+    EXPECT_NEAR(cpu.utilization_since(start, Duration::zero()), 1.0, 1e-9);
+}
+
+TEST(Processor, BackgroundLoadInflatesCost) {
+    Simulation sim;
+    Processor cpu(sim, 1, 0.5);  // half the CPU belongs to other software
+    TimePoint done{-1};
+    cpu.submit(milliseconds(10), [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(done, milliseconds(20));
+}
+
+TEST(Processor, InvalidConfigThrows) {
+    Simulation sim;
+    EXPECT_THROW(Processor(sim, 0), std::invalid_argument);
+    EXPECT_THROW(Processor(sim, 1, 1.0), std::invalid_argument);
+    EXPECT_THROW(Processor(sim, 1, -0.1), std::invalid_argument);
+}
+
+TEST(Processor, ZeroCostPostRunsAtCurrentTime) {
+    Simulation sim;
+    sim.run_until(milliseconds(7));
+    Processor cpu(sim, 1);
+    TimePoint done{-1};
+    cpu.post([&] { done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(done, milliseconds(7));
+}
+
+}  // namespace
+}  // namespace zc::sim

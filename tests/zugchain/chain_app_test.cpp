@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "zugchain/chain_app.hpp"
+
+namespace zc::zugchain {
+namespace {
+
+struct ChainAppFixture : ::testing::Test {
+    ChainAppFixture() {
+        Rng keyrng(5);
+        key = provider.generate(keyrng);
+        directory.register_key(0, key.pub);
+        crypto = std::make_unique<crypto::CryptoContext>(provider, directory, key, costs, meter);
+        app = std::make_unique<ChainApp>(store, *crypto, 10);
+    }
+
+    pbft::Request request(std::uint64_t uniq, BytesView payload) {
+        pbft::Request r;
+        r.payload = Bytes(payload.begin(), payload.end());
+        r.origin = 0;
+        r.origin_seq = uniq;
+        r.sig = crypto->sign(r.signing_bytes());
+        return r;
+    }
+
+    crypto::FastProvider provider;
+    crypto::KeyDirectory directory;
+    crypto::KeyPair key;
+    metrics::CostModel costs;
+    crypto::WorkMeter meter;
+    std::unique_ptr<crypto::CryptoContext> crypto;
+    chain::BlockStore store;
+    std::unique_ptr<ChainApp> app;
+};
+
+TEST_F(ChainAppFixture, BundlesLoggedRequestsIntoBlock) {
+    for (SeqNo s = 1; s <= 10; ++s) {
+        app->log(request(s, to_bytes("rec-" + std::to_string(s))), 2, s);
+    }
+    const crypto::Digest head = app->state_digest(10);
+    EXPECT_EQ(head, store.head_hash());
+    EXPECT_EQ(store.head_height(), 1u);
+
+    const chain::Block* block = store.get(1);
+    ASSERT_NE(block, nullptr);
+    ASSERT_EQ(block->requests.size(), 10u);
+    EXPECT_EQ(block->requests[0].origin, 2u);
+    EXPECT_EQ(block->requests[0].seq, 1u);
+    EXPECT_TRUE(block->payload_valid());
+    EXPECT_EQ(app->pending_requests(), 0u);
+}
+
+TEST_F(ChainAppFixture, DeterministicAcrossReplicas) {
+    crypto::WorkMeter meter2;
+    crypto::CryptoContext crypto2(provider, directory, key, costs, meter2);
+    chain::BlockStore store2;
+    ChainApp app2(store2, crypto2, 10);
+
+    for (SeqNo s = 1; s <= 10; ++s) {
+        const pbft::Request r = request(s, to_bytes("rec-" + std::to_string(s)));
+        app->log(r, r.origin, s);
+        app2.log(r, r.origin, s);
+    }
+    EXPECT_EQ(app->state_digest(10), app2.state_digest(10));
+}
+
+TEST_F(ChainAppFixture, EmptyWindowStillProducesBlock) {
+    // A checkpoint window of pure null requests (after a view change)
+    // creates an empty block so the chain and checkpoints stay aligned.
+    const crypto::Digest head = app->state_digest(10);
+    EXPECT_EQ(store.head_height(), 1u);
+    EXPECT_EQ(store.get(1)->requests.size(), 0u);
+    EXPECT_EQ(head, store.head_hash());
+}
+
+TEST_F(ChainAppFixture, ConsecutiveBlocksChain) {
+    for (SeqNo s = 1; s <= 10; ++s) app->log(request(s, to_bytes("a")), 0, s);
+    app->state_digest(10);
+    for (SeqNo s = 11; s <= 20; ++s) app->log(request(s, to_bytes("b")), 0, s);
+    app->state_digest(20);
+    EXPECT_EQ(store.head_height(), 2u);
+    EXPECT_TRUE(store.validate(0, 2));
+}
+
+TEST_F(ChainAppFixture, ChargesCpuForBlockBuild) {
+    for (SeqNo s = 1; s <= 10; ++s) app->log(request(s, Bytes(1024, 0x7a)), 0, s);
+    meter.take();
+    app->state_digest(10);
+    EXPECT_GT(meter.pending(), milliseconds(1));  // hash + flash write cost
+}
+
+TEST_F(ChainAppFixture, SyncStateUsesFetcher) {
+    bool called = false;
+    app->set_state_fetcher([&](SeqNo seq, const crypto::Digest&) {
+        called = true;
+        EXPECT_EQ(seq, 30u);
+        return true;
+    });
+    app->log(request(1, to_bytes("stale")), 0, 1);
+    app->sync_state(30, crypto::Digest{});
+    EXPECT_TRUE(called);
+    EXPECT_EQ(app->pending_requests(), 0u);  // pending cleared on transfer
+}
+
+TEST_F(ChainAppFixture, RejectsZeroInterval) {
+    EXPECT_THROW(ChainApp(store, *crypto, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zc::zugchain

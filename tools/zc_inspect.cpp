@@ -1,0 +1,127 @@
+// zc_inspect — offline inspection of a persisted ZugChain block store
+// (what an investigator runs against a salvaged node's flash).
+//
+//   zc_inspect <store-dir>              summary + integrity verification
+//   zc_inspect <store-dir> --dump H     decode the records of block H
+//   zc_inspect <store-dir> --events     list juridically notable events
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "chain/block_store.hpp"
+#include "common/hex.hpp"
+#include "export/messages.hpp"
+#include "train/signal.hpp"
+
+using namespace zc;
+
+namespace {
+
+const char* signal_name(train::SignalKind kind) {
+    switch (kind) {
+        case train::SignalKind::kSpeed: return "speed(c-km/h)";
+        case train::SignalKind::kOdometer: return "odometer(m)";
+        case train::SignalKind::kBrakePressure: return "brake-pipe(mbar)";
+        case train::SignalKind::kEmergencyBrake: return "EMERGENCY-BRAKE";
+        case train::SignalKind::kDoorState: return "doors";
+        case train::SignalKind::kAtpIntervention: return "ATP-INTERVENTION";
+        case train::SignalKind::kTractionCommand: return "traction(permille)";
+        case train::SignalKind::kHorn: return "horn";
+        case train::SignalKind::kCabSignal: return "cab-signal";
+    }
+    return "?";
+}
+
+void dump_block(const chain::BlockStore& store, Height height) {
+    const chain::Block* block = store.get(height);
+    if (block == nullptr) {
+        std::printf("block %llu: body not available (pruned or trimmed)\n",
+                    static_cast<unsigned long long>(height));
+        return;
+    }
+    std::printf("block %llu  hash=%s\n", static_cast<unsigned long long>(height),
+                to_hex(crypto::view(block->hash())).c_str());
+    std::printf("  parent=%s\n", to_hex(crypto::view(block->header.parent_hash)).c_str());
+    std::printf("  %u requests, payload root ok: %s\n", block->header.request_count,
+                block->payload_valid() ? "yes" : "NO");
+    for (const auto& req : block->requests) {
+        const auto record = codec::try_decode<train::LogRecord>(req.payload);
+        if (!record) {
+            std::printf("  seq %-6llu origin %u: %zu B (not a JRU record — flagged)\n",
+                        static_cast<unsigned long long>(req.seq), req.origin,
+                        req.payload.size());
+            continue;
+        }
+        std::printf("  seq %-6llu origin %u cycle %-8llu t=%.3fs:",
+                    static_cast<unsigned long long>(req.seq), req.origin,
+                    static_cast<unsigned long long>(record->cycle),
+                    static_cast<double>(record->timestamp_ns) / 1e9);
+        for (const auto& s : record->signals) {
+            std::printf(" %s=%lld", signal_name(s.kind), static_cast<long long>(s.value));
+        }
+        std::printf("\n");
+    }
+}
+
+void list_events(const chain::BlockStore& store) {
+    std::printf("%-10s %-8s %-8s %s\n", "time (s)", "block", "origin", "event");
+    for (Height h = store.base_height(); h <= store.head_height(); ++h) {
+        const chain::Block* block = store.get(h);
+        if (block == nullptr) continue;
+        for (const auto& req : block->requests) {
+            const auto record = codec::try_decode<train::LogRecord>(req.payload);
+            if (!record) {
+                std::printf("%-10s %-8llu %-8u foreign payload (%zu B)\n", "-",
+                            static_cast<unsigned long long>(h), req.origin,
+                            req.payload.size());
+                continue;
+            }
+            for (const auto& s : record->signals) {
+                const bool notable =
+                    (s.kind == train::SignalKind::kEmergencyBrake && s.value != 0) ||
+                    (s.kind == train::SignalKind::kAtpIntervention && s.value != 0) ||
+                    s.kind == train::SignalKind::kDoorState ||
+                    (s.kind == train::SignalKind::kHorn && s.value != 0);
+                if (!notable) continue;
+                std::printf("%-10.3f %-8llu %-8u %s=%lld\n",
+                            static_cast<double>(record->timestamp_ns) / 1e9,
+                            static_cast<unsigned long long>(h), req.origin,
+                            signal_name(s.kind), static_cast<long long>(s.value));
+            }
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <store-dir> [--dump HEIGHT | --events]\n", argv[0]);
+        return 2;
+    }
+
+    chain::BlockStore store = chain::BlockStore::load(argv[1]);
+    std::printf("store: %s\n", argv[1]);
+    std::printf("blocks %llu..%llu (%zu retained, %zu KiB)\n",
+                static_cast<unsigned long long>(store.base_height()),
+                static_cast<unsigned long long>(store.head_height()), store.size(),
+                store.stored_bytes() / 1024);
+
+    const bool valid = store.validate(store.base_height(), store.head_height());
+    std::printf("integrity: %s\n", valid ? "VERIFIED" : "BROKEN (tampering or corruption)");
+    std::printf("head hash: %s\n", to_hex(crypto::view(store.head_hash())).c_str());
+
+    if (store.anchor()) {
+        const auto deletes = exporter::decode_delete_evidence(store.anchor()->evidence);
+        std::printf("prune anchor: base %llu, %s data-center delete signatures\n",
+                    static_cast<unsigned long long>(store.anchor()->base_height),
+                    deletes ? std::to_string(deletes->size()).c_str() : "undecodable");
+    }
+
+    if (argc >= 4 && std::strcmp(argv[2], "--dump") == 0) {
+        dump_block(store, static_cast<Height>(std::stoull(argv[3])));
+    } else if (argc >= 3 && std::strcmp(argv[2], "--events") == 0) {
+        list_events(store);
+    }
+    return valid ? 0 : 1;
+}

@@ -1,0 +1,180 @@
+// zugchain_sim — run a ZugChain (or baseline) testbed scenario from the
+// command line and print the measurements.
+//
+//   zugchain_sim [--mode zugchain|baseline] [--n 4] [--f 1]
+//                [--cycle-ms 64] [--payload 1024] [--block-size 10]
+//                [--duration-s 30] [--seed 1] [--dcs 0] [--export-at-s N]
+//                [--crash-primary-at-s N] [--fabricator NODE]
+//                [--store-dir DIR] [--crypto fast|ed25519]
+//
+// Examples:
+//   zugchain_sim --duration-s 60
+//   zugchain_sim --mode baseline --cycle-ms 32
+//   zugchain_sim --dcs 2 --export-at-s 20 --duration-s 40
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/scenario.hpp"
+
+using namespace zc;
+
+namespace {
+
+struct Args {
+    runtime::ScenarioConfig cfg;
+    double export_at_s = -1;
+    double crash_primary_at_s = -1;
+    int fabricator = -1;
+
+    static void usage(const char* argv0) {
+        std::fprintf(stderr,
+                     "usage: %s [--mode zugchain|baseline] [--n N] [--f F] [--cycle-ms MS]\n"
+                     "          [--payload BYTES] [--block-size N] [--duration-s S] [--seed S]\n"
+                     "          [--dcs N] [--export-at-s S] [--crash-primary-at-s S]\n"
+                     "          [--fabricator NODE] [--store-dir DIR] [--crypto fast|ed25519]\n",
+                     argv0);
+        std::exit(2);
+    }
+
+    static Args parse(int argc, char** argv) {
+        Args args;
+        auto need_value = [&](int& i) -> const char* {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        for (int i = 1; i < argc; ++i) {
+            const std::string flag = argv[i];
+            if (flag == "--mode") {
+                const std::string v = need_value(i);
+                if (v == "zugchain") {
+                    args.cfg.mode = runtime::Mode::kZugChain;
+                } else if (v == "baseline") {
+                    args.cfg.mode = runtime::Mode::kBaseline;
+                } else {
+                    usage(argv[0]);
+                }
+            } else if (flag == "--n") {
+                args.cfg.n = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+            } else if (flag == "--f") {
+                args.cfg.f = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+            } else if (flag == "--cycle-ms") {
+                args.cfg.bus_cycle = milliseconds(std::atoll(need_value(i)));
+            } else if (flag == "--payload") {
+                args.cfg.payload_size = static_cast<std::size_t>(std::atoll(need_value(i)));
+            } else if (flag == "--block-size") {
+                args.cfg.block_size = static_cast<SeqNo>(std::atoll(need_value(i)));
+            } else if (flag == "--duration-s") {
+                args.cfg.duration = seconds(std::atoll(need_value(i)));
+            } else if (flag == "--seed") {
+                args.cfg.seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
+            } else if (flag == "--dcs") {
+                args.cfg.dc_count = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+            } else if (flag == "--export-at-s") {
+                args.export_at_s = std::atof(need_value(i));
+            } else if (flag == "--crash-primary-at-s") {
+                args.crash_primary_at_s = std::atof(need_value(i));
+            } else if (flag == "--fabricator") {
+                args.fabricator = std::atoi(need_value(i));
+            } else if (flag == "--store-dir") {
+                args.cfg.store_root = need_value(i);  // DIR/node-<id> per node
+            } else if (flag == "--crypto") {
+                args.cfg.crypto_provider = need_value(i);
+            } else {
+                usage(argv[0]);
+            }
+        }
+        if (args.crash_primary_at_s > 0) {
+            args.cfg.crash_schedule.emplace_back(
+                millis_f(args.crash_primary_at_s * 1000.0), 0);
+        }
+        if (args.fabricator >= 0) {
+            runtime::ByzantineBehavior byz;
+            byz.fabricate_rate = 1.0;
+            args.cfg.byzantine[static_cast<NodeId>(args.fabricator)] = byz;
+        }
+        return args;
+    }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args = Args::parse(argc, argv);
+
+    std::printf("zugchain_sim: mode=%s n=%u f=%u cycle=%lld ms payload=%zu block=%llu "
+                "duration=%.0f s seed=%llu crypto=%s dcs=%u\n",
+                args.cfg.mode == runtime::Mode::kZugChain ? "zugchain" : "baseline",
+                args.cfg.n, args.cfg.f,
+                static_cast<long long>(args.cfg.bus_cycle.count() / 1'000'000),
+                args.cfg.payload_size, static_cast<unsigned long long>(args.cfg.block_size),
+                to_seconds(args.cfg.duration),
+                static_cast<unsigned long long>(args.cfg.seed),
+                args.cfg.crypto_provider.c_str(), args.cfg.dc_count);
+
+    runtime::Scenario scenario(args.cfg);
+    if (args.export_at_s > 0 && args.cfg.dc_count > 0) {
+        scenario.sim().schedule(millis_f(args.export_at_s * 1000.0),
+                                [&scenario] { scenario.data_center(0).start_export(); });
+    }
+    scenario.run();
+    if (args.cfg.dc_count > 0) scenario.run_for(seconds(60));
+
+    const runtime::ScenarioReport r = scenario.report();
+    std::printf("\n-- ordering --\n");
+    std::printf("records logged (unique) : %llu\n",
+                static_cast<unsigned long long>(r.logged_unique));
+    std::printf("blocks                  : %llu\n", static_cast<unsigned long long>(r.blocks));
+    if (!r.latency_ms.empty()) {
+        std::printf("latency mean/p50/p99    : %.2f / %.2f / %.2f ms\n", r.latency_ms.mean(),
+                    r.latency_ms.percentile(0.5), r.latency_ms.percentile(0.99));
+    }
+    std::printf("duplicates decided      : %llu, suspects: %llu\n",
+                static_cast<unsigned long long>(r.duplicates_decided),
+                static_cast<unsigned long long>(r.suspects));
+
+    std::printf("\n-- per node --\n");
+    std::printf("%4s %10s %12s %12s %12s %8s %6s\n", "node", "cpu %dev", "mem avg MB",
+                "mem peak MB", "sent MB", "rx-drop", "VCs");
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+        const auto& n = r.nodes[i];
+        std::printf("%4zu %9.1f%% %12.1f %12.1f %12.2f %8llu %6llu\n", i, n.cpu_pct_of_device,
+                    n.mem_avg_mb, n.mem_peak_mb, static_cast<double>(n.bytes_sent) / 1e6,
+                    static_cast<unsigned long long>(n.rx_dropped),
+                    static_cast<unsigned long long>(n.view_changes));
+    }
+
+    if (args.cfg.dc_count > 0) {
+        std::printf("\n-- export --\n");
+        for (const auto& rec : scenario.data_center(0).history()) {
+            std::printf("exported blocks %llu..%llu: read %.2f s, verify %.3f s, delete %.2f s "
+                        "(%s)\n",
+                        static_cast<unsigned long long>(rec.exported_from + 1),
+                        static_cast<unsigned long long>(rec.exported_to),
+                        to_seconds(rec.read_time), to_seconds(rec.verify_cost),
+                        to_seconds(rec.delete_time), rec.success ? "ok" : "failed");
+        }
+    }
+
+    // Chain consistency check across live nodes.
+    bool consistent = true;
+    Height min_head = ~0ull;
+    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+        if (scenario.node(i).alive()) {
+            min_head = std::min(min_head, scenario.node(i).store().head_height());
+        }
+    }
+    const chain::BlockHeader* ref = nullptr;
+    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+        if (!scenario.node(i).alive()) continue;
+        const auto* h = scenario.node(i).store().header(min_head);
+        if (ref == nullptr) {
+            ref = h;
+        } else if (h == nullptr || ref == nullptr || h->hash() != ref->hash()) {
+            consistent = false;
+        }
+    }
+    std::printf("\nchains consistent across live nodes: %s\n", consistent ? "yes" : "NO");
+    return consistent ? 0 : 1;
+}
