@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "runtime/scenario.hpp"
+#include "trace/trace.hpp"
 
 namespace zc::bench {
 
@@ -80,6 +81,34 @@ inline RunMeasurement run_averaged(ScenarioConfig cfg, int runs = 3) {
         acc.rate_limited += m.rate_limited / static_cast<std::uint64_t>(runs);
     }
     return acc;
+}
+
+/// Per-phase latency breakdown rows from a tracing registry, merged over
+/// all nodes (Fig. 6/8 companion tables: where does the end-to-end
+/// latency go — layer wait, ordering, persistence).
+inline void print_phase_breakdown(const trace::MetricsRegistry& registry,
+                                  const char* indent = "") {
+    const struct {
+        const char* metric;
+        const char* label;
+    } rows[] = {
+        {"layer_wait_ns", "layer wait (receive -> propose)"},
+        {"ordering_ns", "ordering   (propose -> decide)"},
+        {"persist_ns", "persist    (decide -> block)"},
+        {"e2e_ns", "end-to-end (receive -> decide)"},
+        {"view_change_ns", "view change (start -> new view)"},
+    };
+    std::printf("%s%-33s %9s %10s %10s %10s\n", indent, "phase", "count", "p50 ms", "p99 ms",
+                "max ms");
+    for (const auto& row : rows) {
+        const trace::Histogram h = registry.merged_histogram(row.metric);
+        if (h.count() == 0) continue;
+        std::printf("%s%-33s %9llu %10.3f %10.3f %10.3f\n", indent, row.label,
+                    static_cast<unsigned long long>(h.count()),
+                    static_cast<double>(h.percentile(0.5)) / 1e6,
+                    static_cast<double>(h.percentile(0.99)) / 1e6,
+                    static_cast<double>(h.max()) / 1e6);
+    }
 }
 
 inline void print_header(const std::string& title) {

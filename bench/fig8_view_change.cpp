@@ -21,6 +21,7 @@ struct ViewChangeTrace {
     double gap_ms = 0;        // fault -> first post-fault logged request
     double stabilize_ms = 0;  // fault -> latency back within 1.5x steady
     std::vector<metrics::SeriesPoint> series;
+    trace::MetricsRegistry phases;  ///< per-phase histograms (all nodes)
 };
 
 ViewChangeTrace run_trace(Mode mode) {
@@ -29,6 +30,12 @@ ViewChangeTrace run_trace(Mode mode) {
     cfg.duration = seconds(40);
     const Duration fault_at = cfg.warmup + seconds(15);
     cfg.crash_schedule = {{fault_at, 0}};
+
+    // Aggregation-only tracer: per-phase latency histograms without the
+    // memory cost of full event capture.
+    trace::MetricsRegistry registry;
+    trace::Tracer tracer(/*capture_events=*/false, &registry);
+    cfg.trace_sink = &tracer;
 
     Scenario s(cfg);
     s.run();
@@ -65,6 +72,7 @@ ViewChangeTrace run_trace(Mode mode) {
     trace.gap_ms = max_gap * 1000.0;
     trace.stabilize_ms = (stabilized_at - t0) * 1000.0;
     trace.steady_after_ms = after_all.empty() ? 0 : after_all.mean();
+    trace.phases = std::move(registry);  // tracer is done emitting here
     return trace;
 }
 
@@ -92,6 +100,8 @@ void print_trace(const char* name, const ViewChangeTrace& t) {
         }
         bucket_start += 0.1;
     }
+    std::printf("per-phase latency breakdown (all nodes, whole run):\n");
+    print_phase_breakdown(t.phases, "  ");
 }
 
 }  // namespace

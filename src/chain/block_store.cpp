@@ -115,6 +115,7 @@ void BlockStore::append(Block block) {
     account(static_cast<std::int64_t>(block.size_bytes()));
     if (dir_) persist(block);
     const Height h = block.header.height;
+    trace_.event(trace::Phase::kBlockPersist, h, block.size_bytes());
     entries_.emplace(h, Entry{std::move(block), true});
 }
 
@@ -151,6 +152,7 @@ void BlockStore::prune_to(Height base, Bytes evidence) {
     base_height_ = base;
     anchor_ = std::move(anchor);
     if (dir_) write_file(*dir_ / "anchor.bin", codec::encode_to_bytes(*anchor_));
+    trace_.event(trace::Phase::kPrune, base, stored_bytes_);
 }
 
 void BlockStore::trim_bodies_to(Height height) {
@@ -160,6 +162,7 @@ void BlockStore::trim_bodies_to(Height height) {
         entry.block.requests.clear();
         entry.body_present = false;
     }
+    trace_.event(trace::Phase::kTrimBodies, height, stored_bytes_);
 }
 
 bool BlockStore::validate(Height from, Height to) const {

@@ -20,6 +20,7 @@
 
 #include "chain/block.hpp"
 #include "metrics/memory.hpp"
+#include "trace/trace.hpp"
 
 namespace zc::chain {
 
@@ -85,6 +86,10 @@ public:
     /// Logical bytes held (tracked in the memory gauge as well).
     std::size_t stored_bytes() const noexcept { return stored_bytes_; }
 
+    /// Attaches a trace context (the store holds no simulation reference,
+    /// so the context carries the virtual-clock handle).
+    void set_trace(trace::TraceContext ctx) noexcept { trace_ = ctx; }
+
 private:
     struct LoadTag {};
 
@@ -110,6 +115,7 @@ private:
     metrics::Gauge* gauge_;
     std::optional<std::filesystem::path> dir_;
     std::size_t stored_bytes_ = 0;
+    trace::TraceContext trace_;
 };
 
 }  // namespace zc::chain

@@ -107,6 +107,8 @@ void DataCenter::maybe_complete_read() {
     if (replies_.size() < 2 * config_.f + 1 || !replies_.contains(full_from_)) return;
 
     current_.read_time = sim_.now() - current_.started;
+    trace_span(trace::Phase::kExportRead, current_.started, current_.read_time,
+               stats_.exports_started, replies_.size());
 
     // The latest stable checkpoint wins.
     for (const auto& [id, reply] : replies_) {
@@ -177,7 +179,10 @@ void DataCenter::verify_and_continue() {
         return;
     }
 
-    current_.verify_cost += crypto_.meter().pending() - meter_before;
+    const Duration verify_cost = crypto_.meter().pending() - meter_before;
+    current_.verify_cost += verify_cost;
+    trace_span(trace::Phase::kExportVerify, sim_.now(), verify_cost, stats_.exports_started,
+               target_height_);
     last_proof_ = best_proof_;
 
     // (3) Synchronize with the other companies' data centers.
@@ -287,6 +292,8 @@ void DataCenter::handle(const DeleteAck& m) {
     // header-trim fallback, error (v)).
     if (acks_.size() >= config_.n - config_.f) {
         current_.delete_time = sim_.now() - delete_started_;
+        trace_span(trace::Phase::kExportDelete, delete_started_, current_.delete_time,
+                   current_.exported_to, acks_.size());
         finish(true);
     }
 }

@@ -18,6 +18,7 @@
 #include "crypto/context.hpp"
 #include "export/messages.hpp"
 #include "sim/simulation.hpp"
+#include "trace/trace.hpp"
 
 namespace zc::exporter {
 
@@ -78,6 +79,14 @@ public:
     const DcStats& stats() const noexcept { return stats_; }
     bool exporting() const noexcept { return state_ != State::kIdle; }
 
+    /// Attaches a trace sink; `trace_node` is the pid the DC's export
+    /// spans are recorded under (DCs share the replica NodeId space in
+    /// traces via an offset chosen by the runtime).
+    void set_trace(trace::TraceSink* sink, NodeId trace_node) noexcept {
+        trace_ = sink;
+        trace_node_ = trace_node;
+    }
+
 private:
     enum class State { kIdle, kReading, kFetching, kDeleting };
 
@@ -94,6 +103,10 @@ private:
     void issue_delete(Height height, const crypto::Digest& block_hash);
     void finish(bool success);
     void arm_timeout();
+    void trace_span(trace::Phase phase, TimePoint start, Duration dur, std::uint64_t trace,
+                    std::uint64_t arg = 0) {
+        if (trace_ != nullptr) trace_->span(trace_node_, start, dur, phase, trace, arg);
+    }
 
     DcConfig config_;
     sim::Simulation& sim_;
@@ -121,6 +134,8 @@ private:
     CompletionHook on_complete_;
     std::vector<ExportRecord> history_;
     DcStats stats_;
+    trace::TraceSink* trace_ = nullptr;
+    NodeId trace_node_ = 0;
 };
 
 }  // namespace zc::exporter

@@ -42,6 +42,7 @@ void ExportServer::handle(const ReadRequest& m) {
     }
     reply.sig = crypto_.sign(reply.signing_bytes());
     stats_.reads_served += 1;
+    trace_.event(trace::Phase::kExportServeRead, m.dc, reply.blocks.size());
     transport_.to_data_center(m.dc, ExportMessage{std::move(reply)});
 }
 
@@ -119,6 +120,7 @@ void ExportServer::try_execute_delete(Height height) {
 
     store_.prune_to(height, encode_delete_evidence(evidence));
     stats_.deletes_executed += 1;
+    trace_.event(trace::Phase::kExportServeDelete, height, evidence.size());
 
     DeleteAck ack;
     ack.replica = config_.id;

@@ -14,6 +14,7 @@
 #include "chain/block_store.hpp"
 #include "crypto/context.hpp"
 #include "export/messages.hpp"
+#include "trace/trace.hpp"
 
 namespace zc::exporter {
 
@@ -61,6 +62,9 @@ public:
 
     const ServerStats& stats() const noexcept { return stats_; }
 
+    /// Attaches a trace context (the server holds no simulation reference).
+    void set_trace(trace::TraceContext ctx) noexcept { trace_ = ctx; }
+
 private:
     void handle(const ReadRequest& m);
     void handle(const BlockFetch& m);
@@ -80,6 +84,7 @@ private:
     std::map<Height, std::map<DataCenterId, DeleteCmd>> pending_deletes_;
 
     ServerStats stats_;
+    trace::TraceContext trace_;
 };
 
 }  // namespace zc::exporter

@@ -186,6 +186,7 @@ void Replica::accept_preprepare(const PrePrepare& pp) {
     s.preprepare = pp;
     account_slot_bytes(s, pp.request.size_bytes() + 96);
     if (!pp.request.is_null()) known_requests_[pp.req_digest] = pp.seq;
+    trace_request(trace::Phase::kPrePrepare, pp.request, pp.seq);
 
     app_.preprepared(pp.request);
 
@@ -232,6 +233,7 @@ void Replica::maybe_prepared(SeqNo seq) {
     if (matching < 2 * config_.f) return;
 
     s.commit_sent = true;
+    trace_request(trace::Phase::kPrepared, s.preprepare->request, seq);
     Commit c;
     c.view = s.preprepare->view;
     c.seq = seq;
@@ -293,6 +295,7 @@ void Replica::execute_ready() {
 void Replica::execute(SeqNo seq, const Request& request) {
     last_exec_ = seq;
     stats_.decided += 1;
+    trace_request(trace::Phase::kDecide, request, seq);
 
     if (!request.is_null()) {
         const auto timer = request_timers_.find(request.digest());
@@ -351,6 +354,7 @@ void Replica::make_stable(SeqNo seq, const crypto::Digest& state) {
         stable_proofs_.erase(stable_proofs_.begin());
     }
     stats_.checkpoints_stable += 1;
+    trace_point(trace::Phase::kCheckpointStable, seq, seq);
 
     if (seq > last_stable_) {
         last_stable_ = seq;
@@ -393,6 +397,7 @@ void Replica::start_view_change(View target) {
     in_view_change_ = true;
     vc_target_ = target;
     stats_.view_changes_started += 1;
+    trace_point(trace::Phase::kViewChangeStart, target, target);
     if (vc_timer_ != sim::kInvalidEvent) sim_.cancel(vc_timer_);
 
     ViewChange vc = build_view_change(target);
@@ -653,6 +658,7 @@ void Replica::enter_view(View v) {
     in_view_change_ = false;
     vc_target_ = 0;
     vc_attempts_ = 0;
+    trace_point(trace::Phase::kNewView, v, primary_of(v));
     if (vc_timer_ != sim::kInvalidEvent) {
         sim_.cancel(vc_timer_);
         vc_timer_ = sim::kInvalidEvent;

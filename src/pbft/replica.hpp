@@ -28,6 +28,7 @@
 #include "metrics/memory.hpp"
 #include "pbft/messages.hpp"
 #include "sim/simulation.hpp"
+#include "trace/trace.hpp"
 
 namespace zc::pbft {
 
@@ -135,6 +136,9 @@ public:
     /// Feeds a received protocol message (after transport-level decode).
     void on_message(NodeId from, const Message& m);
 
+    /// Attaches a request-lifecycle trace sink (null = tracing off).
+    void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
+
     // -- observers -------------------------------------------------------
 
     View view() const noexcept { return view_; }
@@ -210,6 +214,17 @@ private:
 
     bool in_watermarks(SeqNo seq) const noexcept;
     Slot& slot(SeqNo seq);
+
+    /// Request-phase trace point; hashes the payload only when tracing.
+    void trace_request(trace::Phase phase, const Request& request, std::uint64_t arg = 0) {
+        if (trace_ != nullptr && !request.is_null()) {
+            trace_->event(config_.id, sim_.now(), phase,
+                          trace::trace_id_from(request.payload_digest().data()), arg);
+        }
+    }
+    void trace_point(trace::Phase phase, std::uint64_t id, std::uint64_t arg = 0) {
+        if (trace_ != nullptr) trace_->event(config_.id, sim_.now(), phase, id, arg);
+    }
     void account_slot_bytes(Slot& s, std::size_t bytes);
     std::uint32_t quorum() const noexcept { return 2 * config_.f + 1; }
 
@@ -219,6 +234,7 @@ private:
     Transport& transport_;
     Application& app_;
     metrics::Gauge* log_gauge_;
+    trace::TraceSink* trace_ = nullptr;
 
     View view_ = 0;
     bool in_view_change_ = false;

@@ -200,6 +200,8 @@ Node::Node(NodeOptions options, sim::Simulation& sim, net::Network& network,
 
     replica_ = std::make_unique<pbft::Replica>(rcfg, sim, *crypto_, *pbft_transport_, *app_shim_,
                                                memory_.gauge("pbft-log"));
+    replica_->set_trace(options_.trace);
+    store_.set_trace({options_.trace, options_.id, sim.now_handle()});
 
     if (options_.mode == Mode::kZugChain) {
         layer_transport_ = std::make_unique<LayerTransportAdapter>(*this);
@@ -214,6 +216,7 @@ Node::Node(NodeOptions options, sim::Simulation& sim, net::Network& network,
         layer_ = std::make_unique<zugchain::CommunicationLayer>(
             lcfg, sim, *crypto_, *layer_transport_, *log_shim_, memory_.gauge("layer-queue"));
         layer_->attach_consensus(*consensus_adapter_);
+        layer_->set_trace(options_.trace);
     } else {
         client_sender_ = std::make_unique<ClientSenderAdapter>(*this);
         baseline::ClientConfig ccfg;
@@ -231,6 +234,7 @@ Node::Node(NodeOptions options, sim::Simulation& sim, net::Network& network,
     export_server_ =
         std::make_unique<exporter::ExportServer>(ecfg, *crypto_, store_, *export_transport_);
     export_server_->set_proof_provider([this] { return replica_->latest_stable_proof(); });
+    export_server_->set_trace({options_.trace, options_.id, sim.now_handle()});
 }
 
 Node::~Node() = default;
@@ -257,7 +261,12 @@ void Node::process_telegram(std::uint32_t source, const bus::Telegram& telegram)
     if (!record) return;  // corrupt frame: unusable, like a failed bus CRC
 
     const Bytes payload = codec::encode_to_bytes(*record);
-    record_receive_time(crypto::sha256(payload));
+    const crypto::Digest payload_digest = crypto::sha256(payload);
+    record_receive_time(payload_digest);
+    if (options_.trace != nullptr) {
+        options_.trace->event(options_.id, sim_.now(), trace::Phase::kBusReceive,
+                              trace::trace_id_from(payload_digest.data()), payload.size());
+    }
 
     // The uniquifier spans (source, cycle) so two sources with coinciding
     // cycle counters sign distinct requests.

@@ -23,6 +23,7 @@
 #include "pbft/replica.hpp"
 #include "runtime/wire.hpp"
 #include "sim/executor.hpp"
+#include "trace/trace.hpp"
 #include "train/jru_parser.hpp"
 #include "zugchain/chain_app.hpp"
 #include "zugchain/layer.hpp"
@@ -86,6 +87,10 @@ struct NodeOptions {
     std::size_t delete_quorum = 2;  ///< export: DC deletes needed to prune
 
     std::optional<std::filesystem::path> store_dir;
+
+    /// Request-lifecycle trace sink shared across the node's components
+    /// (null = tracing off; every trace point is a single pointer test).
+    trace::TraceSink* trace = nullptr;
 
     ByzantineBehavior byzantine;
 };

@@ -141,6 +141,7 @@ void Scenario::build() {
         opts.protocol_cores = config_.protocol_cores;
         opts.rx_queue_limit = config_.rx_queue_limit;
         opts.delete_quorum = config_.delete_quorum;
+        opts.trace = config_.trace_sink;
         const auto byz = config_.byzantine.find(i);
         if (byz != config_.byzantine.end()) opts.byzantine = byz->second;
         if (config_.store_root) {
@@ -179,6 +180,7 @@ void Scenario::build() {
     for (std::uint32_t d = 0; d < config_.dc_count; ++d) {
         dcs_.push_back(std::make_unique<DataCenterHost>(d, *this, dc_keys[d]));
         net_.attach(kDcBase + d, dcs_.back().get());
+        dcs_.back()->dc().set_trace(config_.trace_sink, kDcBase + d);
     }
 
     wire_state_transfer();

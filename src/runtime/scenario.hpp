@@ -79,6 +79,11 @@ struct ScenarioConfig {
     /// If set, each node persists its chain under store_root/node-<id>
     /// (inspectable offline with tools/zc_inspect).
     std::optional<std::filesystem::path> store_root;
+
+    /// Request-lifecycle trace sink attached to every node and data
+    /// center (null = tracing off). DC events record under trace pid
+    /// 100 + dc id, matching the network endpoint numbering.
+    trace::TraceSink* trace_sink = nullptr;
 };
 
 struct NodeReport {

@@ -33,6 +33,10 @@ public:
     /// Current virtual time.
     TimePoint now() const noexcept { return now_; }
 
+    /// Stable pointer to the virtual clock, for components that need a
+    /// time source but hold no simulation reference (trace contexts).
+    const TimePoint* now_handle() const noexcept { return &now_; }
+
     /// Schedules `fn` to run after `delay` (clamped to >= 0). Events with
     /// equal timestamps run in scheduling order.
     EventId schedule(Duration delay, std::function<void()> fn);

@@ -1,0 +1,64 @@
+#include "trace/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace zc::trace {
+
+unsigned Histogram::bucket_index(std::uint64_t value) noexcept {
+    if (value < kSubCount) return static_cast<unsigned>(value);
+    const unsigned msb = static_cast<unsigned>(std::bit_width(value)) - 1;  // >= kSubBits
+    const unsigned shift = msb - kSubBits;
+    const auto sub = static_cast<unsigned>((value >> shift) - kSubCount);  // in [0, kSubCount)
+    return kSubCount + shift * kSubCount + sub;
+}
+
+double Histogram::bucket_midpoint(unsigned index) noexcept {
+    if (index < kSubCount) return static_cast<double>(index);
+    const unsigned shift = (index - kSubCount) / kSubCount;
+    const unsigned sub = (index - kSubCount) % kSubCount;
+    const double lower = static_cast<double>((static_cast<std::uint64_t>(kSubCount) + sub)
+                                             << shift);
+    const double width = static_cast<double>(1ull << shift);
+    return lower + width / 2.0;
+}
+
+void Histogram::record(std::uint64_t value, std::uint64_t count) {
+    if (count == 0) return;
+    buckets_[bucket_index(value)] += count;
+    count_ += count;
+    sum_ += value * count;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double Histogram::percentile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // The extremes are tracked exactly; don't bucketize them.
+    if (q == 0.0) return static_cast<double>(min_);
+    if (q == 1.0) return static_cast<double>(max_);
+    // Rank of the q-quantile sample (same convention as Summary: the
+    // q*(n-1)-th order statistic, without interpolation across buckets).
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBucketCount; ++i) {
+        seen += buckets_[i];
+        if (seen > rank) {
+            const double mid = bucket_midpoint(i);
+            return std::clamp(mid, static_cast<double>(min_), static_cast<double>(max_));
+        }
+    }
+    return static_cast<double>(max_);
+}
+
+void Histogram::merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    for (unsigned i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+}  // namespace zc::trace

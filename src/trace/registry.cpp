@@ -1,0 +1,101 @@
+#include "trace/registry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace zc::trace {
+
+namespace {
+
+template <typename Map, typename Factory>
+auto* get_or_create(Map& map, NodeId node, const std::string& name, Factory make) {
+    auto& slot = map[{node, name}];
+    if (!slot) slot = make();
+    return slot.get();
+}
+
+void append_key(std::string& out, const MetricsRegistry::Key& key) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"%u/", key.first);
+    out += buf;
+    out += key.second;
+    out += '"';
+}
+
+void append_f(std::string& out, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    out += buf;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(NodeId node, const std::string& name) {
+    return get_or_create(counters_, node, name, [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::gauge(NodeId node, const std::string& name) {
+    return get_or_create(gauges_, node, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram* MetricsRegistry::histogram(NodeId node, const std::string& name) {
+    return get_or_create(histograms_, node, name, [] { return std::make_unique<Histogram>(); });
+}
+
+Histogram MetricsRegistry::merged_histogram(const std::string& name) const {
+    Histogram out;
+    for (const auto& [key, hist] : histograms_) {
+        if (key.second == name) out.merge(*hist);
+    }
+    return out;
+}
+
+std::string MetricsRegistry::json() const {
+    std::string out;
+    out.reserve(4096);
+    char buf[64];
+
+    out += "{\"counters\":{";
+    bool first = true;
+    for (const auto& [key, c] : counters_) {
+        if (!first) out += ',';
+        first = false;
+        append_key(out, key);
+        std::snprintf(buf, sizeof buf, ":%" PRIu64, c->value());
+        out += buf;
+    }
+
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [key, g] : gauges_) {
+        if (!first) out += ',';
+        first = false;
+        append_key(out, key);
+        std::snprintf(buf, sizeof buf, ":%" PRId64, g->value());
+        out += buf;
+    }
+
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [key, h] : histograms_) {
+        if (!first) out += ',';
+        first = false;
+        append_key(out, key);
+        std::snprintf(buf, sizeof buf, ":{\"count\":%" PRIu64 ",\"min\":%" PRIu64
+                                       ",\"max\":%" PRIu64 ",\"mean\":",
+                      h->count(), h->min(), h->max());
+        out += buf;
+        append_f(out, h->mean());
+        out += ",\"p50\":";
+        append_f(out, h->percentile(0.5));
+        out += ",\"p90\":";
+        append_f(out, h->percentile(0.9));
+        out += ",\"p99\":";
+        append_f(out, h->percentile(0.99));
+        out += '}';
+    }
+    out += "}}";
+    return out;
+}
+
+}  // namespace zc::trace

@@ -1,0 +1,73 @@
+// Metrics registry: counters, gauges and log-bucketed histograms keyed by
+// (node, name).
+//
+// Components obtain stable metric pointers once and bump them on hot paths
+// without lookups or allocation. The registry serializes to a compact,
+// deterministic JSON document (map iteration order is the sorted key
+// order), which `zugchain_sim --metrics FILE` writes at the end of a run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/ids.hpp"
+#include "trace/histogram.hpp"
+
+namespace zc::trace {
+
+/// Monotonic event counter.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept { value_ += n; }
+    std::uint64_t value() const noexcept { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Point-in-time signed value (queue depths, bytes held, ...).
+class Gauge {
+public:
+    void set(std::int64_t v) noexcept { value_ = v; }
+    void add(std::int64_t v) noexcept { value_ += v; }
+    std::int64_t value() const noexcept { return value_; }
+
+private:
+    std::int64_t value_ = 0;
+};
+
+class MetricsRegistry {
+public:
+    /// Creates (or returns) the metric under (node, name). Returned
+    /// pointers stay valid for the registry's lifetime.
+    Counter* counter(NodeId node, const std::string& name);
+    Gauge* gauge(NodeId node, const std::string& name);
+    Histogram* histogram(NodeId node, const std::string& name);
+
+    /// Merge of one named histogram across all nodes (per-phase summary
+    /// rows in benches).
+    Histogram merged_histogram(const std::string& name) const;
+
+    /// Compact JSON: {"counters":{"<node>/<name>":v,...},"gauges":{...},
+    /// "histograms":{"<node>/<name>":{"count":..,"min":..,"max":..,
+    /// "mean":..,"p50":..,"p90":..,"p99":..},...}}. Deterministic.
+    std::string json() const;
+
+    using Key = std::pair<NodeId, std::string>;
+    const std::map<Key, std::unique_ptr<Counter>>& counters() const noexcept {
+        return counters_;
+    }
+    const std::map<Key, std::unique_ptr<Gauge>>& gauges() const noexcept { return gauges_; }
+    const std::map<Key, std::unique_ptr<Histogram>>& histograms() const noexcept {
+        return histograms_;
+    }
+
+private:
+    std::map<Key, std::unique_ptr<Counter>> counters_;
+    std::map<Key, std::unique_ptr<Gauge>> gauges_;
+    std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace zc::trace

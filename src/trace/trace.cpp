@@ -1,0 +1,208 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace zc::trace {
+
+namespace {
+
+struct PhaseInfo {
+    const char* name;
+    const char* category;
+    unsigned category_index;
+};
+
+constexpr PhaseInfo kPhaseInfo[kPhaseCount] = {
+    {"bus_receive", "bus", 0},
+    {"layer_enqueue", "layer", 1},
+    {"layer_filtered", "layer", 1},
+    {"layer_propose", "layer", 1},
+    {"layer_broadcast", "layer", 1},
+    {"layer_forward", "layer", 1},
+    {"layer_rate_limited", "layer", 1},
+    {"soft_timeout", "layer", 1},
+    {"hard_timeout", "layer", 1},
+    {"suspect", "layer", 1},
+    {"duplicate_decided", "layer", 1},
+    {"preprepare", "pbft", 2},
+    {"prepared", "pbft", 2},
+    {"decide", "pbft", 2},
+    {"checkpoint_stable", "pbft", 2},
+    {"view_change_start", "pbft", 2},
+    {"new_view", "pbft", 2},
+    {"block_persist", "chain", 3},
+    {"prune", "chain", 3},
+    {"trim_bodies", "chain", 3},
+    {"export_read", "export", 4},
+    {"export_verify", "export", 4},
+    {"export_delete", "export", 4},
+    {"export_serve_read", "export", 4},
+    {"export_serve_delete", "export", 4},
+};
+
+constexpr TimePoint kUnset{-1};
+
+/// Aggregated-histogram names; decide->persist list is capped so a mode
+/// that never persists (a DC store) cannot grow without bound.
+constexpr std::size_t kMaxDecidedPending = 8192;
+constexpr std::size_t kMaxLifecycleEntries = 1u << 16;
+
+}  // namespace
+
+const char* phase_name(Phase p) noexcept { return kPhaseInfo[static_cast<unsigned>(p)].name; }
+
+const char* phase_category(Phase p) noexcept {
+    return kPhaseInfo[static_cast<unsigned>(p)].category;
+}
+
+unsigned phase_category_index(Phase p) noexcept {
+    return kPhaseInfo[static_cast<unsigned>(p)].category_index;
+}
+
+void Tracer::set_process_label(NodeId node, std::string label) {
+    process_labels_[node] = std::move(label);
+}
+
+void Tracer::event(NodeId node, TimePoint at, Phase phase, TraceId trace, std::uint64_t arg) {
+    if (capture_) events_.push_back({at, Duration::zero(), trace, arg, node, phase, false});
+    if (registry_ != nullptr) aggregate(node, at, phase, trace);
+}
+
+void Tracer::span(NodeId node, TimePoint start, Duration dur, Phase phase, TraceId trace,
+                  std::uint64_t arg) {
+    if (capture_) events_.push_back({start, dur, trace, arg, node, phase, true});
+    if (registry_ == nullptr) return;
+    registry_->counter(node, phase_name(phase))->add(1);
+    registry_->histogram(node, std::string(phase_name(phase)) + "_ns")
+        ->record(static_cast<std::uint64_t>(std::max<std::int64_t>(dur.count(), 0)));
+}
+
+void Tracer::aggregate(NodeId node, TimePoint at, Phase phase, TraceId trace) {
+    registry_->counter(node, phase_name(phase))->add(1);
+
+    const auto record_ns = [&](const char* name, Duration d) {
+        registry_->histogram(node, name)->record(
+            static_cast<std::uint64_t>(std::max<std::int64_t>(d.count(), 0)));
+    };
+
+    switch (phase) {
+        case Phase::kBusReceive: {
+            if (lifecycle_.size() > kMaxLifecycleEntries) lifecycle_.clear();
+            lifecycle_[life_key(node, trace)].receive = at;
+            break;
+        }
+        case Phase::kLayerPropose:
+        case Phase::kPrePrepare: {
+            Lifecycle& life = lifecycle_[life_key(node, trace)];
+            if (life.order_start == kUnset) {
+                if (life.receive != kUnset) record_ns("layer_wait_ns", at - life.receive);
+                life.order_start = at;
+            }
+            break;
+        }
+        case Phase::kDecide: {
+            const auto it = lifecycle_.find(life_key(node, trace));
+            if (it != lifecycle_.end()) {
+                if (it->second.order_start != kUnset) {
+                    record_ns("ordering_ns", at - it->second.order_start);
+                }
+                if (it->second.receive != kUnset) record_ns("e2e_ns", at - it->second.receive);
+                lifecycle_.erase(it);
+            }
+            auto& pending = decided_pending_[node];
+            if (pending.size() < kMaxDecidedPending) pending.push_back(at);
+            break;
+        }
+        case Phase::kBlockPersist: {
+            const auto it = decided_pending_.find(node);
+            if (it != decided_pending_.end()) {
+                for (const TimePoint decided : it->second) {
+                    record_ns("persist_ns", at - decided);
+                }
+                it->second.clear();
+            }
+            break;
+        }
+        case Phase::kViewChangeStart: {
+            vc_start_.emplace(node, at);  // keep the earliest start of the episode
+            break;
+        }
+        case Phase::kNewView: {
+            const auto it = vc_start_.find(node);
+            if (it != vc_start_.end()) {
+                record_ns("view_change_ns", at - it->second);
+                vc_start_.erase(it);
+            }
+            break;
+        }
+        default:
+            break;
+    }
+}
+
+std::string Tracer::chrome_json() const {
+    std::string out;
+    out.reserve(events_.size() * 160 + 1024);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    char buf[256];
+    bool first = true;
+    const auto emit = [&](const char* json) {
+        if (!first) out += ',';
+        first = false;
+        out += json;
+    };
+
+    // Metadata: stable order (sorted pids, then category rows).
+    std::set<NodeId> pids;
+    std::set<std::pair<NodeId, unsigned>> rows;
+    for (const Record& r : events_) {
+        pids.insert(r.node);
+        rows.insert({r.node, phase_category_index(r.phase)});
+    }
+    for (const NodeId pid : pids) {
+        const auto label = process_labels_.find(pid);
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+                      "\"args\":{\"name\":\"%s\"}}",
+                      pid,
+                      label != process_labels_.end() ? label->second.c_str()
+                                                    : ("host-" + std::to_string(pid)).c_str());
+        emit(buf);
+    }
+    static constexpr const char* kCategoryNames[] = {"bus", "layer", "pbft", "chain", "export"};
+    for (const auto& [pid, tid] : rows) {
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                      "\"args\":{\"name\":\"%s\"}}",
+                      pid, tid, kCategoryNames[tid]);
+        emit(buf);
+    }
+
+    for (const Record& r : events_) {
+        const double ts_us = static_cast<double>(r.at.count()) / 1e3;
+        if (r.is_span) {
+            const double dur_us = static_cast<double>(r.dur.count()) / 1e3;
+            std::snprintf(buf, sizeof buf,
+                          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                          "\"dur\":%.3f,\"pid\":%u,\"tid\":%u,"
+                          "\"args\":{\"trace\":\"0x%016" PRIx64 "\",\"arg\":%" PRIu64 "}}",
+                          phase_name(r.phase), phase_category(r.phase), ts_us, dur_us, r.node,
+                          phase_category_index(r.phase), r.trace, r.arg);
+        } else {
+            std::snprintf(buf, sizeof buf,
+                          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                          "\"ts\":%.3f,\"pid\":%u,\"tid\":%u,"
+                          "\"args\":{\"trace\":\"0x%016" PRIx64 "\",\"arg\":%" PRIu64 "}}",
+                          phase_name(r.phase), phase_category(r.phase), ts_us, r.node,
+                          phase_category_index(r.phase), r.trace, r.arg);
+        }
+        emit(buf);
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace zc::trace

@@ -27,6 +27,7 @@ void CommunicationLayer::receive(Bytes payload, std::uint64_t uniquifier, std::u
 
     if (logged_.contains(digest)) {
         stats_.filtered_in_log += 1;  // already decided: nothing to do
+        trace_event(trace::Phase::kLayerFiltered, digest);
         return;
     }
 
@@ -44,16 +45,18 @@ void CommunicationLayer::receive(Bytes payload, std::uint64_t uniquifier, std::u
     if (queue_gauge_) queue_gauge_->add(static_cast<std::int64_t>(request_bytes(open.request)));
     auto [it, inserted] = open_.emplace(digest, std::move(open));
     stats_.received += 1;
+    trace_event(trace::Phase::kLayerEnqueue, digest, source);
 
     if (config_.id == primary_) {
-        propose_open(it->second);  // Alg. 1 ln. 7-9
+        propose_open(digest, it->second);  // Alg. 1 ln. 7-9
     } else {
         start_soft_timer(digest);  // Alg. 1 ln. 11
     }
 }
 
-void CommunicationLayer::propose_open(OpenRequest& open) {
+void CommunicationLayer::propose_open(const crypto::Digest& payload_digest, OpenRequest& open) {
     stats_.proposed += 1;
+    trace_event(trace::Phase::kLayerPropose, payload_digest);
     if (consensus_ != nullptr) consensus_->propose(open.request);
 }
 
@@ -76,6 +79,7 @@ void CommunicationLayer::on_peer_request(NodeId from, const pbft::Request& reque
         auto& count = open_per_origin_[request.origin];
         if (count >= config_.max_open_per_origin) {
             stats_.rate_limited += 1;
+            trace_event(trace::Phase::kLayerRateLimited, digest, request.origin);
             return;
         }
         count += 1;
@@ -94,11 +98,12 @@ void CommunicationLayer::on_peer_request(NodeId from, const pbft::Request& reque
         // Alg. 1 ln. 28-29: propose with the broadcasting node's id, but
         // only if we did not read it from the bus ourselves (r.req not in
         // R) — in that case our own copy is (being) proposed.
-        if (!entry.from_bus && entry.request == request) propose_open(entry);
+        if (!entry.from_bus && entry.request == request) propose_open(digest, entry);
     } else {
         start_hard_timer(digest);  // Alg. 1 ln. 31
         if (!forwarded) {
             stats_.forwards += 1;
+            trace_event(trace::Phase::kLayerForward, digest, primary_);
             transport_.forward(primary_, request);  // Alg. 1 ln. 32
         }
     }
@@ -123,10 +128,12 @@ void CommunicationLayer::on_soft_timeout(const crypto::Digest& digest) {
     if (it == open_.end()) return;
     it->second.soft_timer = sim::kInvalidEvent;
     stats_.soft_timeouts += 1;
+    trace_event(trace::Phase::kSoftTimeout, digest);
 
     // Alg. 1 ln. 21-24: sign (already signed at receive), broadcast to all
     // nodes, arm the hard timeout to catch a censoring primary.
     stats_.broadcasts += 1;
+    trace_event(trace::Phase::kLayerBroadcast, digest);
     transport_.broadcast(it->second.request);
     start_hard_timer(digest);
 }
@@ -136,10 +143,12 @@ void CommunicationLayer::on_hard_timeout(const crypto::Digest& digest) {
     if (it == open_.end()) return;
     it->second.hard_timer = sim::kInvalidEvent;
     stats_.hard_timeouts += 1;
+    trace_event(trace::Phase::kHardTimeout, digest);
 
     // Alg. 1 ln. 33-35: the request is still not logged: suspect.
     if (!logged_.contains(digest)) {
         stats_.suspects += 1;
+        trace_event(trace::Phase::kSuspect, digest);
         if (consensus_ != nullptr) consensus_->suspect();
     }
 }
@@ -183,6 +192,7 @@ void CommunicationLayer::deliver(const pbft::Request& request, SeqNo seq) {
         // Alg. 1 ln. 17-18: the primary submitted a payload duplicate.
         stats_.duplicates_decided += 1;
         stats_.suspects += 1;
+        trace_event(trace::Phase::kDuplicateDecided, digest);
         if (consensus_ != nullptr) consensus_->suspect();
         return;
     }
@@ -222,7 +232,7 @@ void CommunicationLayer::new_primary(View view, NodeId primary) {
         if (inflight.contains(digest)) continue;  // running instance: wait for DECIDE
 
         if (config_.id == primary_) {
-            propose_open(open);  // ln. 39-41
+            propose_open(digest, open);  // ln. 39-41
         } else {
             start_soft_timer(digest);  // ln. 43
         }

@@ -33,6 +33,7 @@
 #include "pbft/messages.hpp"
 #include "pbft/replica.hpp"
 #include "sim/simulation.hpp"
+#include "trace/trace.hpp"
 
 namespace zc::zugchain {
 
@@ -114,6 +115,10 @@ public:
     /// construction cycle between replica and layer).
     void attach_consensus(ConsensusHandle& consensus) { consensus_ = &consensus; }
 
+    /// Attaches a request-lifecycle trace sink (null = tracing off; every
+    /// trace point is then a single pointer test).
+    void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
+
     /// RECEIVE(req): parsed+filtered bus input from `source` (one queue
     /// per input link; §III-C "Multiple Input Sources"). `uniquifier`
     /// disambiguates the signed request (the bus cycle number), so
@@ -160,7 +165,14 @@ private:
         sim::EventId hard_timer = sim::kInvalidEvent;
     };
 
-    void propose_open(OpenRequest& open);
+    void propose_open(const crypto::Digest& payload_digest, OpenRequest& open);
+    void trace_event(trace::Phase phase, const crypto::Digest& payload_digest,
+                     std::uint64_t arg = 0) {
+        if (trace_ != nullptr) {
+            trace_->event(config_.id, sim_.now(), phase,
+                          trace::trace_id_from(payload_digest.data()), arg);
+        }
+    }
     void start_soft_timer(const crypto::Digest& payload_digest);
     void start_hard_timer(const crypto::Digest& payload_digest);
     void on_soft_timeout(const crypto::Digest& payload_digest);
@@ -180,6 +192,7 @@ private:
     ConsensusHandle* consensus_ = nullptr;
     pbft::Application* downstream_ = nullptr;
     metrics::Gauge* queue_gauge_;
+    trace::TraceSink* trace_ = nullptr;
 
     NodeId primary_ = 0;
 

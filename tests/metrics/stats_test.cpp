@@ -49,6 +49,34 @@ TEST(Summary, PercentileThenAddStillCorrect) {
     EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
 }
 
+TEST(Summary, EmptyStddevIsZero) {
+    Summary s;
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleSampleStddevIsZero) {
+    // n-1 in the denominator: one sample has no spread, and must not
+    // divide by zero.
+    Summary s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 42.0);
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+    Summary s, empty;
+    s.add(1.0);
+    s.add(2.0);
+    s.merge(empty);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+
+    empty.merge(s);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
 TEST(Summary, MergeCombines) {
     Summary a, b;
     a.add(1.0);

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "metrics/stats.hpp"
+#include "trace/histogram.hpp"
+
+namespace zc::trace {
+namespace {
+
+TEST(Histogram, EmptyIsSafe) {
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);  // no throw, unlike Summary
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+    // Values below kSubCount land in unit-width buckets: every statistic
+    // is exact, not approximate.
+    Histogram h;
+    for (std::uint64_t v = 0; v < Histogram::kSubCount; ++v) h.record(v);
+    EXPECT_EQ(h.count(), 64u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 63u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 63.0);
+    EXPECT_NEAR(h.percentile(0.5), 31.5, 0.5);
+}
+
+TEST(Histogram, BucketIndexIsMonotonic) {
+    unsigned last = 0;
+    for (std::uint64_t v : {0ull, 1ull, 63ull, 64ull, 65ull, 127ull, 128ull, 1000ull, 65536ull,
+                            1'000'000'000ull, ~0ull}) {
+        const unsigned idx = Histogram::bucket_index(v);
+        ASSERT_LT(idx, Histogram::kBucketCount);
+        EXPECT_GE(idx, last) << "value " << v;
+        last = idx;
+    }
+}
+
+TEST(Histogram, BucketMidpointStaysWithinRelativeError) {
+    // The midpoint of the bucket a value falls into must be within 1/128
+    // of the value itself — the advertised resolution.
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.next() >> (rng.next_below(40));
+        if (v == 0) continue;
+        const double mid = Histogram::bucket_midpoint(Histogram::bucket_index(v));
+        const double rel = std::abs(mid - static_cast<double>(v)) / static_cast<double>(v);
+        EXPECT_LE(rel, 1.0 / 128.0) << "value " << v << " midpoint " << mid;
+    }
+}
+
+TEST(Histogram, PercentilesTrackSummaryOnRandomData) {
+    // Cross-check against the exact (sample-retaining) Summary on a spread
+    // of magnitudes: log-bucketing must stay within ~1 % relative error.
+    Rng rng(42);
+    Histogram h;
+    metrics::Summary exact;
+    for (int i = 0; i < 20000; ++i) {
+        // Mix of microsecond- to second-scale "latencies" in nanoseconds.
+        const std::uint64_t v = 1000 + (rng.next() % 1'000'000'000ull);
+        h.record(v);
+        exact.add(static_cast<double>(v));
+    }
+    for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+        const double approx = h.percentile(q);
+        const double truth = exact.percentile(q);
+        EXPECT_NEAR(approx / truth, 1.0, 0.012) << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), static_cast<double>(h.min()));
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), static_cast<double>(h.max()));
+    EXPECT_NEAR(h.mean() / exact.mean(), 1.0, 1e-9);  // mean uses the exact sum
+}
+
+TEST(Histogram, MergeEqualsRecordingIntoOne) {
+    Rng rng(3);
+    Histogram a, b, both;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.next() % 1'000'000;
+        if (i % 2 == 0) {
+            a.record(v);
+        } else {
+            b.record(v);
+        }
+        both.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    EXPECT_EQ(a.sum(), both.sum());
+    for (double q : {0.25, 0.5, 0.75, 0.99}) {
+        EXPECT_DOUBLE_EQ(a.percentile(q), both.percentile(q)) << "q=" << q;
+    }
+}
+
+TEST(Histogram, WeightedRecord) {
+    Histogram h;
+    h.record(100, 5);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 500u);
+    EXPECT_EQ(h.min(), 100u);
+    EXPECT_EQ(h.max(), 100u);
+}
+
+}  // namespace
+}  // namespace zc::trace

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "trace/registry.hpp"
+
+namespace zc::trace {
+namespace {
+
+TEST(MetricsRegistry, PointersAreStableAndShared) {
+    MetricsRegistry reg;
+    Counter* c1 = reg.counter(0, "decide");
+    c1->add(3);
+    // Creating unrelated metrics must not invalidate or duplicate c1.
+    for (int i = 0; i < 100; ++i) reg.counter(1, "x" + std::to_string(i));
+    Counter* c2 = reg.counter(0, "decide");
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(c2->value(), 3u);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+    MetricsRegistry reg;
+    Gauge* g = reg.gauge(2, "queue");
+    g->set(10);
+    g->add(-4);
+    EXPECT_EQ(reg.gauge(2, "queue")->value(), 6);
+}
+
+TEST(MetricsRegistry, MergedHistogramSpansNodes) {
+    MetricsRegistry reg;
+    reg.histogram(0, "e2e_ns")->record(1000);
+    reg.histogram(1, "e2e_ns")->record(3000);
+    reg.histogram(2, "other_ns")->record(99);
+    const Histogram merged = reg.merged_histogram("e2e_ns");
+    EXPECT_EQ(merged.count(), 2u);
+    EXPECT_EQ(merged.min(), 1000u);
+    EXPECT_EQ(merged.max(), 3000u);
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndComplete) {
+    const auto build = [] {
+        MetricsRegistry reg;
+        reg.counter(1, "b")->add(2);
+        reg.counter(0, "a")->add(1);
+        reg.gauge(0, "g")->set(-5);
+        reg.histogram(0, "h_ns")->record(1500);
+        return reg.json();
+    };
+    const std::string j1 = build();
+    const std::string j2 = build();
+    EXPECT_EQ(j1, j2);  // same construction order -> identical bytes
+
+    // Insertion order must not matter either: keys serialize sorted.
+    MetricsRegistry reversed;
+    reversed.histogram(0, "h_ns")->record(1500);
+    reversed.gauge(0, "g")->set(-5);
+    reversed.counter(0, "a")->add(1);
+    reversed.counter(1, "b")->add(2);
+    EXPECT_EQ(reversed.json(), j1);
+
+    EXPECT_NE(j1.find("\"counters\""), std::string::npos);
+    EXPECT_NE(j1.find("\"0/a\":1"), std::string::npos);
+    EXPECT_NE(j1.find("\"1/b\":2"), std::string::npos);
+    EXPECT_NE(j1.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(j1.find("\"0/g\":-5"), std::string::npos);
+    EXPECT_NE(j1.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(j1.find("\"0/h_ns\""), std::string::npos);
+    EXPECT_NE(j1.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, EmptyJson) {
+    MetricsRegistry reg;
+    const std::string j = reg.json();
+    EXPECT_NE(j.find("\"counters\":{}"), std::string::npos);
+    EXPECT_NE(j.find("\"gauges\":{}"), std::string::npos);
+    EXPECT_NE(j.find("\"histograms\":{}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::trace

@@ -6,17 +6,21 @@
 //                [--duration-s 30] [--seed 1] [--dcs 0] [--export-at-s N]
 //                [--crash-primary-at-s N] [--fabricator NODE]
 //                [--store-dir DIR] [--crypto fast|ed25519]
+//                [--trace FILE] [--metrics FILE] [--json]
 //
 // Examples:
 //   zugchain_sim --duration-s 60
 //   zugchain_sim --mode baseline --cycle-ms 32
 //   zugchain_sim --dcs 2 --export-at-s 20 --duration-s 40
+//   zugchain_sim --trace trace.json   # open in Perfetto / chrome://tracing
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "runtime/scenario.hpp"
+#include "trace/trace.hpp"
 
 using namespace zc;
 
@@ -27,13 +31,17 @@ struct Args {
     double export_at_s = -1;
     double crash_primary_at_s = -1;
     int fabricator = -1;
+    std::string trace_file;
+    std::string metrics_file;
+    bool json = false;
 
     static void usage(const char* argv0) {
         std::fprintf(stderr,
                      "usage: %s [--mode zugchain|baseline] [--n N] [--f F] [--cycle-ms MS]\n"
                      "          [--payload BYTES] [--block-size N] [--duration-s S] [--seed S]\n"
                      "          [--dcs N] [--export-at-s S] [--crash-primary-at-s S]\n"
-                     "          [--fabricator NODE] [--store-dir DIR] [--crypto fast|ed25519]\n",
+                     "          [--fabricator NODE] [--store-dir DIR] [--crypto fast|ed25519]\n"
+                     "          [--trace FILE] [--metrics FILE] [--json]\n",
                      argv0);
         std::exit(2);
     }
@@ -41,7 +49,10 @@ struct Args {
     static Args parse(int argc, char** argv) {
         Args args;
         auto need_value = [&](int& i) -> const char* {
-            if (i + 1 >= argc) usage(argv[0]);
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: flag %s needs a value\n", argv[0], argv[i]);
+                usage(argv[0]);
+            }
             return argv[++i];
         };
         for (int i = 1; i < argc; ++i) {
@@ -53,6 +64,7 @@ struct Args {
                 } else if (v == "baseline") {
                     args.cfg.mode = runtime::Mode::kBaseline;
                 } else {
+                    std::fprintf(stderr, "%s: unknown mode: %s\n", argv[0], v.c_str());
                     usage(argv[0]);
                 }
             } else if (flag == "--n") {
@@ -81,7 +93,14 @@ struct Args {
                 args.cfg.store_root = need_value(i);  // DIR/node-<id> per node
             } else if (flag == "--crypto") {
                 args.cfg.crypto_provider = need_value(i);
+            } else if (flag == "--trace") {
+                args.trace_file = need_value(i);
+            } else if (flag == "--metrics") {
+                args.metrics_file = need_value(i);
+            } else if (flag == "--json") {
+                args.json = true;
             } else {
+                std::fprintf(stderr, "%s: unknown flag: %s\n", argv[0], flag.c_str());
                 usage(argv[0]);
             }
         }
@@ -98,20 +117,82 @@ struct Args {
     }
 };
 
+void write_text_file(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+void print_json_report(const Args& args, const runtime::ScenarioReport& r, bool consistent) {
+    std::printf("{");
+    std::printf("\"mode\":\"%s\",\"n\":%u,\"f\":%u,\"seed\":%llu,"
+                "\"cycle_ms\":%lld,\"payload\":%zu,\"block_size\":%llu,\"duration_s\":%.0f,",
+                args.cfg.mode == runtime::Mode::kZugChain ? "zugchain" : "baseline",
+                args.cfg.n, args.cfg.f, static_cast<unsigned long long>(args.cfg.seed),
+                static_cast<long long>(args.cfg.bus_cycle.count() / 1'000'000),
+                args.cfg.payload_size, static_cast<unsigned long long>(args.cfg.block_size),
+                to_seconds(args.cfg.duration));
+    std::printf("\"logged_unique\":%llu,\"blocks\":%llu,"
+                "\"duplicates_decided\":%llu,\"suspects\":%llu,",
+                static_cast<unsigned long long>(r.logged_unique),
+                static_cast<unsigned long long>(r.blocks),
+                static_cast<unsigned long long>(r.duplicates_decided),
+                static_cast<unsigned long long>(r.suspects));
+    if (r.latency_ms.empty()) {
+        std::printf("\"latency_ms\":null,");
+    } else {
+        std::printf("\"latency_ms\":{\"mean\":%.3f,\"p50\":%.3f,\"p99\":%.3f,\"max\":%.3f},",
+                    r.latency_ms.mean(), r.latency_ms.percentile(0.5),
+                    r.latency_ms.percentile(0.99), r.latency_ms.max());
+    }
+    std::printf("\"nodes\":[");
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+        const auto& n = r.nodes[i];
+        std::printf("%s{\"cpu_pct_of_device\":%.2f,\"mem_avg_mb\":%.2f,\"mem_peak_mb\":%.2f,"
+                    "\"bytes_sent\":%llu,\"rx_dropped\":%llu,\"view_changes\":%llu}",
+                    i == 0 ? "" : ",", n.cpu_pct_of_device, n.mem_avg_mb, n.mem_peak_mb,
+                    static_cast<unsigned long long>(n.bytes_sent),
+                    static_cast<unsigned long long>(n.rx_dropped),
+                    static_cast<unsigned long long>(n.view_changes));
+    }
+    std::printf("],\"consistent\":%s}\n", consistent ? "true" : "false");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     Args args = Args::parse(argc, argv);
 
-    std::printf("zugchain_sim: mode=%s n=%u f=%u cycle=%lld ms payload=%zu block=%llu "
-                "duration=%.0f s seed=%llu crypto=%s dcs=%u\n",
-                args.cfg.mode == runtime::Mode::kZugChain ? "zugchain" : "baseline",
-                args.cfg.n, args.cfg.f,
-                static_cast<long long>(args.cfg.bus_cycle.count() / 1'000'000),
-                args.cfg.payload_size, static_cast<unsigned long long>(args.cfg.block_size),
-                to_seconds(args.cfg.duration),
-                static_cast<unsigned long long>(args.cfg.seed),
-                args.cfg.crypto_provider.c_str(), args.cfg.dc_count);
+    // Tracing/metrics: one sink shared by all nodes and data centers.
+    // Event capture is only needed for the Chrome trace; the metrics dump
+    // works off the aggregation histograms alone.
+    const bool tracing = !args.trace_file.empty() || !args.metrics_file.empty();
+    trace::MetricsRegistry registry;
+    trace::Tracer tracer(/*capture_events=*/!args.trace_file.empty(), &registry);
+    if (tracing) {
+        args.cfg.trace_sink = &tracer;
+        for (std::uint32_t i = 0; i < args.cfg.n; ++i) {
+            tracer.set_process_label(i, "node-" + std::to_string(i));
+        }
+        for (std::uint32_t d = 0; d < args.cfg.dc_count; ++d) {
+            tracer.set_process_label(100 + d, "dc-" + std::to_string(d));
+        }
+    }
+
+    if (!args.json) {
+        std::printf("zugchain_sim: mode=%s n=%u f=%u cycle=%lld ms payload=%zu block=%llu "
+                    "duration=%.0f s seed=%llu crypto=%s dcs=%u\n",
+                    args.cfg.mode == runtime::Mode::kZugChain ? "zugchain" : "baseline",
+                    args.cfg.n, args.cfg.f,
+                    static_cast<long long>(args.cfg.bus_cycle.count() / 1'000'000),
+                    args.cfg.payload_size, static_cast<unsigned long long>(args.cfg.block_size),
+                    to_seconds(args.cfg.duration),
+                    static_cast<unsigned long long>(args.cfg.seed),
+                    args.cfg.crypto_provider.c_str(), args.cfg.dc_count);
+    }
 
     runtime::Scenario scenario(args.cfg);
     if (args.export_at_s > 0 && args.cfg.dc_count > 0) {
@@ -122,6 +203,47 @@ int main(int argc, char** argv) {
     if (args.cfg.dc_count > 0) scenario.run_for(seconds(60));
 
     const runtime::ScenarioReport r = scenario.report();
+
+    // Chain consistency check across live nodes.
+    bool consistent = true;
+    Height min_head = ~0ull;
+    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+        if (scenario.node(i).alive()) {
+            min_head = std::min(min_head, scenario.node(i).store().head_height());
+        }
+    }
+    const chain::BlockHeader* ref = nullptr;
+    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+        if (!scenario.node(i).alive()) continue;
+        const auto* h = scenario.node(i).store().header(min_head);
+        if (ref == nullptr) {
+            ref = h;
+        } else if (h == nullptr || ref == nullptr || h->hash() != ref->hash()) {
+            consistent = false;
+        }
+    }
+
+    if (!args.trace_file.empty()) {
+        write_text_file(args.trace_file, tracer.chrome_json());
+    }
+    if (!args.metrics_file.empty()) {
+        // Fold the end-of-run resource numbers into the registry so the
+        // dump is self-contained.
+        for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+            const NodeId id = static_cast<NodeId>(i);
+            registry.gauge(id, "mem_peak_kb")
+                ->set(static_cast<std::int64_t>(r.nodes[i].mem_peak_mb * 1024.0));
+            registry.gauge(id, "rx_dropped")
+                ->set(static_cast<std::int64_t>(r.nodes[i].rx_dropped));
+        }
+        write_text_file(args.metrics_file, registry.json());
+    }
+
+    if (args.json) {
+        print_json_report(args, r, consistent);
+        return consistent ? 0 : 1;
+    }
+
     std::printf("\n-- ordering --\n");
     std::printf("records logged (unique) : %llu\n",
                 static_cast<unsigned long long>(r.logged_unique));
@@ -157,24 +279,18 @@ int main(int argc, char** argv) {
         }
     }
 
-    // Chain consistency check across live nodes.
-    bool consistent = true;
-    Height min_head = ~0ull;
-    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
-        if (scenario.node(i).alive()) {
-            min_head = std::min(min_head, scenario.node(i).store().head_height());
+    if (tracing && tracer.registry() != nullptr) {
+        const trace::Histogram e2e = registry.merged_histogram("e2e_ns");
+        if (e2e.count() > 0) {
+            std::printf("\n-- tracing --\n");
+            std::printf("events captured         : %zu\n", tracer.event_count());
+            std::printf("e2e (receive->decide)   : p50 %.2f / p99 %.2f ms over %llu samples\n",
+                        static_cast<double>(e2e.percentile(0.5)) / 1e6,
+                        static_cast<double>(e2e.percentile(0.99)) / 1e6,
+                        static_cast<unsigned long long>(e2e.count()));
         }
     }
-    const chain::BlockHeader* ref = nullptr;
-    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
-        if (!scenario.node(i).alive()) continue;
-        const auto* h = scenario.node(i).store().header(min_head);
-        if (ref == nullptr) {
-            ref = h;
-        } else if (h == nullptr || ref == nullptr || h->hash() != ref->hash()) {
-            consistent = false;
-        }
-    }
+
     std::printf("\nchains consistent across live nodes: %s\n", consistent ? "yes" : "NO");
     return consistent ? 0 : 1;
 }
