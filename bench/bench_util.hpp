@@ -3,10 +3,14 @@
 // reference values, and expose simple table formatting.
 #pragma once
 
+#include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "health/flight_recorder.hpp"
+#include "health/monitor.hpp"
 #include "runtime/scenario.hpp"
 #include "trace/trace.hpp"
 
@@ -108,6 +112,72 @@ inline void print_phase_breakdown(const trace::MetricsRegistry& registry,
                     static_cast<double>(h.percentile(0.5)) / 1e6,
                     static_cast<double>(h.percentile(0.99)) / 1e6,
                     static_cast<double>(h.max()) / 1e6);
+    }
+}
+
+/// One labelled measurement row for the machine-readable dump.
+struct BenchRow {
+    std::string config;  ///< e.g. "zugchain cycle=64ms"
+    RunMeasurement m;
+    /// Bench-specific numeric columns appended after the common ones
+    /// (e.g. table2's read/delete/verify seconds).
+    std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Writes `BENCH_<name>.json` into the working directory so CI can diff
+/// benchmark results across commits. Deterministic: fixed precision, row
+/// order as given. Schema:
+///   {"bench":"fig6","rows":[{"config":"...","latency_mean_ms":..,
+///    "latency_p99_ms":..,"net_util_pct":..,"cpu_pct_total":..,
+///    "mem_avg_mb":..,"mem_peak_mb":..,"total_bytes":..,"logged":..,
+///    "blocks":..,"rx_dropped":..,"rate_limited":..},...]}
+inline void write_bench_json(const std::string& name, const std::vector<BenchRow>& rows) {
+    std::string out = "{\"bench\":\"" + name + "\",\"rows\":[";
+    char buf[512];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const RunMeasurement& m = rows[i].m;
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"config\":\"%s\",\"latency_mean_ms\":%.3f,\"latency_p99_ms\":%.3f,"
+                      "\"net_util_pct\":%.4f,\"cpu_pct_total\":%.2f,\"mem_avg_mb\":%.2f,"
+                      "\"mem_peak_mb\":%.2f,\"total_bytes\":%" PRIu64 ",\"logged\":%" PRIu64
+                      ",\"blocks\":%" PRIu64 ",\"rx_dropped\":%" PRIu64
+                      ",\"rate_limited\":%" PRIu64 "}",
+                      i == 0 ? "" : ",", rows[i].config.c_str(), m.latency_mean_ms,
+                      m.latency_p99_ms, m.net_util_pct, m.cpu_pct_total, m.mem_avg_mb,
+                      m.mem_peak_mb, m.total_bytes, m.logged, m.blocks, m.rx_dropped,
+                      m.rate_limited);
+        out += buf;
+        for (const auto& [key, value] : rows[i].extra) {
+            out.pop_back();  // reopen the row object
+            std::snprintf(buf, sizeof buf, ",\"%s\":%.4f}", key.c_str(), value);
+            out += buf;
+        }
+    }
+    out += "]}\n";
+    const std::string path = "BENCH_" + name + ".json";
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return;
+    }
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+/// Prints the watchdog verdict of a health-monitored run: every alarm with
+/// its firing time, plus how much the flight recorder retained.
+inline void print_health_summary(const health::HealthMonitor& monitor,
+                                 const health::FlightRecorder& recorder,
+                                 const char* indent = "  ") {
+    std::printf("%shealth: %zu alarm(s) over %llu samples; flight recorder %zu events "
+                "(%llu dropped)\n",
+                indent, monitor.alarms().size(),
+                static_cast<unsigned long long>(monitor.samples_taken()), recorder.size(),
+                static_cast<unsigned long long>(recorder.dropped()));
+    for (const auto& alarm : monitor.alarms()) {
+        std::printf("%s  [%.3f s] node %d %s: %s\n", indent, to_seconds(alarm.first_seen),
+                    alarm.node == kNoNode ? -1 : static_cast<int>(alarm.node),
+                    health::alarm_kind_name(alarm.kind), alarm.detail.c_str());
     }
 }
 

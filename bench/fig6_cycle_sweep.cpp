@@ -3,12 +3,19 @@
 // payloads. Paper reference shapes: baseline network ~4x ZugChain
 // (each request ordered four times); baseline latency 1.1-4.9x, exploding
 // (~828x) at the 32 ms cycle where it cannot keep up and drops requests.
+//
+// Emits BENCH_fig6.json (machine-readable rows) for CI diffing; pass
+// --quick to run a single-seed, shortened sweep (CI smoke).
+#include <cstring>
+
 #include "bench_util.hpp"
 
 using namespace zc;
 using namespace zc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
     print_header(
         "Fig. 6 (left): network utilization & latency vs bus cycle (payload 1 kB)");
     std::printf("%8s | %12s %12s %9s | %12s %12s %9s %8s | %8s %8s\n", "cycle", "ZC lat ms",
@@ -27,15 +34,17 @@ int main() {
         {256, "~1.1", "~4"},
     };
 
+    std::vector<BenchRow> bench_rows;
     for (const auto& row : rows) {
         ScenarioConfig cfg = paper_config();
         cfg.bus_cycle = milliseconds(row.cycle_ms);
+        if (quick) cfg.duration = seconds(10);
 
         cfg.mode = Mode::kZugChain;
-        const RunMeasurement zc_m = run_averaged(cfg);
+        const RunMeasurement zc_m = quick ? run_once(cfg) : run_averaged(cfg);
 
         cfg.mode = Mode::kBaseline;
-        const RunMeasurement bl_m = run_averaged(cfg);
+        const RunMeasurement bl_m = quick ? run_once(cfg) : run_averaged(cfg);
 
         const double lat_x = zc_m.latency_mean_ms > 0 ? bl_m.latency_mean_ms / zc_m.latency_mean_ms : 0;
         const double net_x = zc_m.net_util_pct > 0 ? bl_m.net_util_pct / zc_m.net_util_pct : 0;
@@ -44,20 +53,33 @@ int main() {
                     zc_m.net_util_pct, bl_m.net_util_pct, net_x,
                     static_cast<unsigned long long>(bl_m.rx_dropped), row.paper_lat,
                     row.paper_net);
+
+        bench_rows.push_back({"zugchain cycle=" + std::to_string(row.cycle_ms) + "ms", zc_m});
+        bench_rows.push_back({"baseline cycle=" + std::to_string(row.cycle_ms) + "ms", bl_m});
     }
 
     print_footnote(
         "\nJRU requirement check (paper SV-B): ZugChain orders within ~14 ms at the\n"
         "64 ms cycle and must stay below the 500 ms recording deadline.");
+    bool clean_alarmed = false;
     {
         // This extra run carries an aggregation-only tracer so the table
         // below can break the end-to-end latency into pipeline phases;
         // the sweep above stays untraced (null sink) and its wall time is
-        // the regression reference.
+        // the regression reference. The health monitor rides along to
+        // prove the watchdogs stay silent on a fault-free run.
         ScenarioConfig cfg = paper_config();
+        if (quick) cfg.duration = seconds(10);
         trace::MetricsRegistry registry;
         trace::Tracer tracer(/*capture_events=*/false, &registry);
-        cfg.trace_sink = &tracer;
+        health::FlightRecorder recorder;
+        health::HealthMonitor monitor;
+        monitor.set_flight_recorder(&recorder);
+        trace::FanOutSink fan;
+        fan.add(&tracer);
+        fan.add(&recorder);
+        cfg.trace_sink = &fan;
+        cfg.health_monitor = &monitor;
         Scenario scenario(std::move(cfg));
         scenario.run();
         ScenarioReport report = scenario.report();
@@ -66,6 +88,16 @@ int main() {
                     m.latency_mean_ms, m.latency_p99_ms);
         std::printf("\n  per-phase breakdown at the 64 ms cycle (all nodes):\n");
         print_phase_breakdown(registry, "  ");
+        std::printf("\n");
+        print_health_summary(monitor, recorder);
+        clean_alarmed = monitor.alarmed();
+    }
+
+    write_bench_json("fig6", bench_rows);
+
+    if (clean_alarmed) {
+        std::printf("WARNING: health watchdog alarmed on a fault-free run\n");
+        return 1;
     }
     return 0;
 }

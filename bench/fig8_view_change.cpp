@@ -22,6 +22,11 @@ struct ViewChangeTrace {
     double stabilize_ms = 0;  // fault -> latency back within 1.5x steady
     std::vector<metrics::SeriesPoint> series;
     trace::MetricsRegistry phases;  ///< per-phase histograms (all nodes)
+    std::vector<health::Alarm> alarms;
+    std::uint64_t health_samples = 0;
+    std::size_t flight_events = 0;
+    std::size_t flight_view_changes = 0;  ///< view-change events in the dump
+    std::string dump_on_alarm;            ///< black box, captured as the first alarm fired
 };
 
 ViewChangeTrace run_trace(Mode mode) {
@@ -35,16 +40,41 @@ ViewChangeTrace run_trace(Mode mode) {
     // memory cost of full event capture.
     trace::MetricsRegistry registry;
     trace::Tracer tracer(/*capture_events=*/false, &registry);
-    cfg.trace_sink = &tracer;
+
+    // The health tap rides the same instrumentation: the flight recorder
+    // shares the trace fan-out, the watchdog monitor samples on the
+    // virtual clock, and the first alarm snapshots the black box the
+    // moment it fires (dump-on-alarm).
+    ViewChangeTrace trace;
+    health::FlightRecorder recorder;
+    health::HealthMonitor monitor;
+    monitor.set_flight_recorder(&recorder);
+    monitor.set_alarm_hook([&](const health::Alarm&) {
+        if (trace.dump_on_alarm.empty()) trace.dump_on_alarm = recorder.json();
+    });
+    trace::FanOutSink fan;
+    fan.add(&tracer);
+    fan.add(&recorder);
+    cfg.trace_sink = &fan;
+    cfg.health_monitor = &monitor;
 
     Scenario s(cfg);
     s.run();
+
+    trace.alarms = monitor.alarms();
+    trace.health_samples = monitor.samples_taken();
+    trace.flight_events = recorder.size();
+    for (const auto& e : recorder.events()) {
+        if (e.kind == health::FlightEventKind::kPhase &&
+            (e.phase == trace::Phase::kViewChangeStart || e.phase == trace::Phase::kNewView)) {
+            ++trace.flight_view_changes;
+        }
+    }
 
     // Observe from node 1, the new primary.
     const auto& points = s.node(1).latency_series().points();
     const double t0 = to_seconds(fault_at);
 
-    ViewChangeTrace trace;
     metrics::Summary before, after_all;
     for (const auto& p : points) {
         if (p.t_seconds < t0) before.add(p.value);
@@ -102,6 +132,22 @@ void print_trace(const char* name, const ViewChangeTrace& t) {
     }
     std::printf("per-phase latency breakdown (all nodes, whole run):\n");
     print_phase_breakdown(t.phases, "  ");
+
+    std::printf("watchdog verdict (monitor sampled every %u bus cycles):\n",
+                health::MonitorConfig{}.sample_every_cycles);
+    std::printf("  health: %zu alarm(s) over %llu samples; flight recorder retained %zu "
+                "events (%zu view-change)\n",
+                t.alarms.size(), static_cast<unsigned long long>(t.health_samples),
+                t.flight_events, t.flight_view_changes);
+    for (const auto& alarm : t.alarms) {
+        std::printf("    [%.3f s] node %d %s: %s\n", to_seconds(alarm.first_seen),
+                    alarm.node == kNoNode ? -1 : static_cast<int>(alarm.node),
+                    health::alarm_kind_name(alarm.kind), alarm.detail.c_str());
+    }
+    if (!t.dump_on_alarm.empty()) {
+        std::printf("  black box dumped on first alarm: %zu bytes of JSON\n",
+                    t.dump_on_alarm.size());
+    }
 }
 
 }  // namespace
@@ -118,5 +164,10 @@ int main() {
 
     std::printf("\npaper reference: view change ~530 ms (ZC) / ~507 ms (BL); back to\n"
                 "steady ~14 ms within ~210 ms (ZC) vs ~25 ms within ~824 ms (BL).\n");
+
+    if (zc_t.alarms.empty()) {
+        std::printf("\nWARNING: primary crash did not trip the stalled-view watchdog\n");
+        return 1;
+    }
     return 0;
 }

@@ -7,6 +7,8 @@
 // 80-96 % of the time is spent waiting for the 2f+1 replies (the full
 // blocks from one replica dominate); verification is 0.2-0.3 % of the
 // total.
+//
+// Emits BENCH_table2.json (machine-readable rows) for CI diffing.
 #include "bench_util.hpp"
 
 using namespace zc;
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
     if (quick) rows = {500, 1000, 2000};
     const char* paper_rd[] = {"0.14", "0.39", "4.7", "9.5", "12.4", "15.3"};
     const char* paper_vfy[] = {"0.02", "0.04", "0.07", "0.15", "0.29", "0.58"};
+    std::vector<BenchRow> bench_rows;
 
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const int blocks = rows[i];
@@ -57,7 +60,17 @@ int main(int argc, char** argv) {
                     blocks, read_s, delete_s, verify_s, read_s + delete_s + verify_s,
                     paper_rd[i], paper_vfy[i],
                     static_cast<unsigned long long>(rec.blocks));
+
+        ScenarioReport report = s.report();
+        BenchRow bench_row{"export blocks=" + std::to_string(blocks), measure(report), {}};
+        bench_row.extra = {{"read_s", read_s},
+                           {"delete_s", delete_s},
+                           {"verify_s", verify_s},
+                           {"blocks_exported", static_cast<double>(rec.blocks)}};
+        bench_rows.push_back(std::move(bench_row));
     }
+
+    write_bench_json("table2", bench_rows);
 
     print_footnote(
         "\nNote: the read step (waiting for 2f+1 checkpoint replies plus the full\n"

@@ -13,6 +13,9 @@ namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::kOff};
 std::once_flag g_init_once;
 
+std::atomic<bool> g_hook_installed{false};
+LogHook g_hook;  // written only while g_hook_installed is false
+
 LogLevel parse_level(const char* s) {
     const std::string v = s ? s : "";
     if (v == "trace") return LogLevel::kTrace;
@@ -49,6 +52,12 @@ void set_log_level(LogLevel level) noexcept {
     g_threshold.store(level, std::memory_order_relaxed);
 }
 
+void set_log_hook(LogHook hook) {
+    g_hook_installed.store(false, std::memory_order_release);
+    g_hook = std::move(hook);
+    if (g_hook) g_hook_installed.store(true, std::memory_order_release);
+}
+
 namespace log_detail {
 
 LogLevel threshold() noexcept {
@@ -60,6 +69,12 @@ void emit(LogLevel level, std::string_view component, std::string_view msg) {
     std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                  static_cast<int>(component.size()), component.data(),
                  static_cast<int>(msg.size()), msg.data());
+}
+
+bool hook_installed() noexcept { return g_hook_installed.load(std::memory_order_acquire); }
+
+void notify_hook(LogLevel level, std::string_view component, std::string_view msg) {
+    if (hook_installed()) g_hook(level, component, msg);
 }
 
 }  // namespace log_detail

@@ -2,6 +2,7 @@
 // silence output and failure investigations can crank verbosity per run.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -14,16 +15,29 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 namespace log_detail {
 LogLevel threshold() noexcept;
 void emit(LogLevel level, std::string_view component, std::string_view msg);
+bool hook_installed() noexcept;
+void notify_hook(LogLevel level, std::string_view component, std::string_view msg);
 }  // namespace log_detail
 
 /// Sets the global log threshold (default: kWarn; respects ZC_LOG env var
 /// with values trace/debug/info/warn/error/off on first use).
 void set_log_level(LogLevel level) noexcept;
 
+/// Observer for warn/error log sites, independent of the print threshold
+/// (a silenced run still records). The health flight recorder installs one
+/// so every existing ZC_WARN/ZC_ERROR call site becomes a recorded event.
+/// One hook at a time; null removes it.
+using LogHook = std::function<void(LogLevel, std::string_view component, std::string_view msg)>;
+void set_log_hook(LogHook hook);
+
 template <typename... Args>
 void log(LogLevel level, std::string_view component, std::string_view fmt, Args&&... args) {
-    if (level < log_detail::threshold()) return;
-    log_detail::emit(level, component, zc::format(fmt, std::forward<Args>(args)...));
+    const bool hooked =
+        level >= LogLevel::kWarn && level < LogLevel::kOff && log_detail::hook_installed();
+    if (!hooked && level < log_detail::threshold()) return;
+    const std::string msg = zc::format(fmt, std::forward<Args>(args)...);
+    if (hooked) log_detail::notify_hook(level, component, msg);
+    if (level >= log_detail::threshold()) log_detail::emit(level, component, msg);
 }
 
 #define ZC_LOG_AT(level, component, ...) ::zc::log((level), (component), __VA_ARGS__)

@@ -1,0 +1,174 @@
+#include "health/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace zc::health {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+FlightRecorder::~FlightRecorder() { unhook_logs(); }
+
+bool FlightRecorder::notable(trace::Phase phase) noexcept {
+    switch (phase) {
+        case trace::Phase::kSoftTimeout:
+        case trace::Phase::kHardTimeout:
+        case trace::Phase::kSuspect:
+        case trace::Phase::kLayerRateLimited:
+        case trace::Phase::kDuplicateDecided:
+        case trace::Phase::kCheckpointStable:
+        case trace::Phase::kViewChangeStart:
+        case trace::Phase::kNewView:
+        case trace::Phase::kPrune:
+        case trace::Phase::kTrimBodies:
+        case trace::Phase::kExportRead:
+        case trace::Phase::kExportVerify:
+        case trace::Phase::kExportDelete:
+        case trace::Phase::kExportServeRead:
+        case trace::Phase::kExportServeDelete:
+            return true;
+        default:
+            return false;
+    }
+}
+
+void FlightRecorder::event(NodeId node, TimePoint at, trace::Phase phase,
+                           trace::TraceId trace, std::uint64_t arg) {
+    (void)trace;
+    if (!notable(phase)) return;
+    FlightEvent e;
+    e.at = at;
+    e.node = node;
+    e.kind = FlightEventKind::kPhase;
+    e.phase = phase;
+    e.arg = arg;
+    record(std::move(e));
+}
+
+void FlightRecorder::span(NodeId node, TimePoint start, Duration dur, trace::Phase phase,
+                          trace::TraceId trace, std::uint64_t arg) {
+    // Spans (export rounds) enter the ring at their completion instant.
+    event(node, start + dur, phase, trace, arg);
+}
+
+void FlightRecorder::record_log(LogLevel level, std::string_view component,
+                                std::string_view message) {
+    FlightEvent e;
+    e.at = now_ != nullptr ? *now_ : TimePoint{0};
+    e.node = kNoNode;
+    e.kind = FlightEventKind::kLog;
+    e.arg = static_cast<std::uint64_t>(level);
+    e.detail.reserve(component.size() + message.size() + 2);
+    e.detail.append(component);
+    e.detail.append(": ");
+    e.detail.append(message);
+    record(std::move(e));
+}
+
+void FlightRecorder::record_alarm(const Alarm& alarm) {
+    FlightEvent e;
+    e.at = alarm.first_seen;
+    e.node = alarm.node;
+    e.kind = FlightEventKind::kAlarm;
+    e.detail.reserve(alarm.detail.size() + 24);
+    e.detail.append(alarm_kind_name(alarm.kind));
+    e.detail.append(": ");
+    e.detail.append(alarm.detail);
+    record(std::move(e));
+}
+
+void FlightRecorder::hook_logs() {
+    set_log_hook([this](LogLevel level, std::string_view component, std::string_view message) {
+        record_log(level, component, message);
+    });
+    hooked_ = true;
+}
+
+void FlightRecorder::unhook_logs() {
+    if (!hooked_) return;
+    set_log_hook(nullptr);
+    hooked_ = false;
+}
+
+void FlightRecorder::record(FlightEvent e) {
+    e.seq = next_seq_++;
+    Ring& ring = rings_[e.node];
+    if (ring.buf.size() < capacity_) {
+        ring.buf.push_back(std::move(e));
+        return;
+    }
+    ring.buf[ring.next] = std::move(e);
+    ring.next = (ring.next + 1) % capacity_;
+    ++dropped_;
+}
+
+std::size_t FlightRecorder::size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [node, ring] : rings_) n += ring.buf.size();
+    return n;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+    std::vector<FlightEvent> out;
+    out.reserve(size());
+    for (const auto& [node, ring] : rings_) {
+        out.insert(out.end(), ring.buf.begin(), ring.buf.end());
+    }
+    std::sort(out.begin(), out.end(), [](const FlightEvent& a, const FlightEvent& b) {
+        if (a.at != b.at) return a.at < b.at;
+        return a.seq < b.seq;
+    });
+    return out;
+}
+
+std::string FlightRecorder::json() const {
+    const std::vector<FlightEvent> evs = events();
+    std::string out;
+    out.reserve(evs.size() * 96 + 128);
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{\"capacity\":%zu,\"recorded\":%" PRIu64 ",\"dropped\":%" PRIu64
+                  ",\"events\":[",
+                  capacity_, next_seq_, dropped_);
+    out += buf;
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        const FlightEvent& e = evs[i];
+        if (i != 0) out += ',';
+        std::snprintf(buf, sizeof buf, "{\"t_ns\":%" PRId64 ",",
+                      static_cast<std::int64_t>(e.at.count()));
+        out += buf;
+        if (e.node == kNoNode) {
+            out += "\"node\":null,";
+        } else {
+            std::snprintf(buf, sizeof buf, "\"node\":%u,", e.node);
+            out += buf;
+        }
+        switch (e.kind) {
+            case FlightEventKind::kPhase:
+                std::snprintf(buf, sizeof buf,
+                              "\"kind\":\"phase\",\"event\":\"%s\",\"arg\":%" PRIu64 "}",
+                              trace::phase_name(e.phase), e.arg);
+                out += buf;
+                break;
+            case FlightEventKind::kLog:
+                std::snprintf(buf, sizeof buf, "\"kind\":\"log\",\"level\":%" PRIu64
+                                               ",\"detail\":\"",
+                              e.arg);
+                out += buf;
+                out += json_escape(e.detail);
+                out += "\"}";
+                break;
+            case FlightEventKind::kAlarm:
+                out += "\"kind\":\"alarm\",\"detail\":\"";
+                out += json_escape(e.detail);
+                out += "\"}";
+                break;
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace zc::health

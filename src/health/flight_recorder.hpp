@@ -1,0 +1,113 @@
+// Flight recorder: the observability system's own "black box".
+//
+// A fixed-size per-node ring buffer of structured events, fed from the
+// same instrumentation points as the Tracer (it is a trace::TraceSink and
+// can share a node's trace tap via trace::FanOutSink). Unlike the Tracer,
+// which captures everything for offline timelines, the recorder keeps only
+// *notable* events — view changes, timeouts, suspicion, drops, checkpoint
+// and export transitions — so the last moments before a fault are not
+// washed out of the ring by routine per-request traffic.
+//
+// Two more feeds exist beyond trace phases:
+//   * warn/error log sites (via the global log hook; hook_logs()), so
+//     existing ZC_WARN/ZC_ERROR calls become recorded events without
+//     touching any call site, and
+//   * health alarms (the HealthMonitor records what it fires).
+//
+// The dump is deterministic JSON: events ordered by (virtual time, global
+// record index), byte-identical across runs of the same seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "health/health.hpp"
+#include "trace/trace.hpp"
+
+namespace zc::health {
+
+enum class FlightEventKind : std::uint8_t {
+    kPhase,  ///< a notable trace phase (arg = the phase's argument)
+    kLog,    ///< a warn/error log line (detail = component + message)
+    kAlarm,  ///< a health alarm fired (detail = kind + alarm detail)
+};
+
+struct FlightEvent {
+    TimePoint at{0};
+    std::uint64_t seq = 0;  ///< global record index (merge tiebreak)
+    NodeId node = kNoNode;
+    FlightEventKind kind = FlightEventKind::kPhase;
+    trace::Phase phase = trace::Phase::kBusReceive;  ///< valid for kPhase
+    std::uint64_t arg = 0;
+    std::string detail;  ///< empty for kPhase
+};
+
+class FlightRecorder final : public trace::TraceSink {
+public:
+    /// `capacity` is the per-node ring size; the kNoNode ring holds events
+    /// that arrive without a node identity (log-hook lines).
+    explicit FlightRecorder(std::size_t capacity = 256);
+    ~FlightRecorder() override;
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    // -- trace::TraceSink --------------------------------------------------
+    void event(NodeId node, TimePoint at, trace::Phase phase, trace::TraceId trace,
+               std::uint64_t arg) override;
+    void span(NodeId node, TimePoint start, Duration dur, trace::Phase phase,
+              trace::TraceId trace, std::uint64_t arg) override;
+
+    /// True for phases the recorder keeps (fault/operational transitions,
+    /// not per-request pipeline steps).
+    static bool notable(trace::Phase phase) noexcept;
+
+    // -- other feeds -------------------------------------------------------
+    void record_log(LogLevel level, std::string_view component, std::string_view message);
+    void record_alarm(const Alarm& alarm);
+
+    /// Attaches the virtual clock used to stamp events that arrive without
+    /// a timestamp of their own (log-hook lines). Null = stamped 0.
+    void set_clock(const TimePoint* now) noexcept { now_ = now; }
+
+    /// Installs this recorder as the global warn/error log hook (see
+    /// common/log.hpp). One recorder at a time; the destructor (or
+    /// unhook_logs) removes the hook.
+    void hook_logs();
+    void unhook_logs();
+
+    // -- observers / dump --------------------------------------------------
+    std::size_t capacity() const noexcept { return capacity_; }
+    /// Retained events across all rings.
+    std::size_t size() const noexcept;
+    /// Events overwritten by ring wraparound.
+    std::uint64_t dropped() const noexcept { return dropped_; }
+
+    /// Retained events, oldest first (merged across rings, ordered by
+    /// virtual time with the global record index as tiebreak).
+    std::vector<FlightEvent> events() const;
+
+    /// Deterministic JSON dump:
+    /// {"capacity":..,"recorded":..,"dropped":..,"events":[..]}.
+    std::string json() const;
+
+private:
+    struct Ring {
+        std::vector<FlightEvent> buf;  ///< grows to capacity, then wraps
+        std::size_t next = 0;          ///< overwrite cursor once full
+    };
+
+    void record(FlightEvent e);
+
+    std::size_t capacity_;
+    std::map<NodeId, Ring> rings_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t dropped_ = 0;
+    const TimePoint* now_ = nullptr;
+    bool hooked_ = false;
+};
+
+}  // namespace zc::health

@@ -1,0 +1,63 @@
+#include "health/health.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace zc::health {
+
+const char* alarm_kind_name(AlarmKind kind) noexcept {
+    switch (kind) {
+        case AlarmKind::kStalledView: return "stalled_view";
+        case AlarmKind::kCheckpointLag: return "checkpoint_lag";
+        case AlarmKind::kExportBacklog: return "export_backlog";
+        case AlarmKind::kDivergence: return "divergence";
+        case AlarmKind::kChainGap: return "chain_gap";
+    }
+    return "?";
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string alarms_json(const std::vector<Alarm>& alarms) {
+    std::string out = "[";
+    char buf[128];
+    for (std::size_t i = 0; i < alarms.size(); ++i) {
+        const Alarm& a = alarms[i];
+        if (i != 0) out += ',';
+        if (a.node == kNoNode) {
+            out += "{\"node\":null,";
+        } else {
+            std::snprintf(buf, sizeof buf, "{\"node\":%u,", a.node);
+            out += buf;
+        }
+        std::snprintf(buf, sizeof buf, "\"kind\":\"%s\",\"first_seen_ns\":%" PRId64 ",",
+                      alarm_kind_name(a.kind), static_cast<std::int64_t>(a.first_seen.count()));
+        out += buf;
+        out += "\"detail\":\"" + json_escape(a.detail) + "\"}";
+    }
+    out += "]";
+    return out;
+}
+
+}  // namespace zc::health

@@ -1,0 +1,46 @@
+// Consensus-health alarm model shared by the online watchdog monitor
+// (src/health/monitor), the flight recorder, and offline chain inspection
+// (tools/zc_inspect --health).
+//
+// An Alarm is a typed, latched liveness finding: which node (or the whole
+// cluster), what kind of degradation, when it was first observed on the
+// virtual clock, and a human-readable detail line. Alarms are append-only
+// and deterministic for a given seed, so health reports can be compared
+// byte-for-byte across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace zc::health {
+
+enum class AlarmKind : std::uint8_t {
+    kStalledView,    ///< no commit progress within k soft timeouts
+    kCheckpointLag,  ///< stable checkpoint trailing the head by > threshold blocks
+    kExportBacklog,  ///< unexported blocks growing monotonically
+    kDivergence,     ///< a node's decided count trailing the quorum frontier
+    kChainGap,       ///< offline: block bodies missing inside the retained range
+};
+
+inline constexpr unsigned kAlarmKindCount = static_cast<unsigned>(AlarmKind::kChainGap) + 1;
+
+const char* alarm_kind_name(AlarmKind kind) noexcept;
+
+struct Alarm {
+    NodeId node = kNoNode;  ///< kNoNode = cluster-wide finding
+    AlarmKind kind = AlarmKind::kStalledView;
+    TimePoint first_seen{0};
+    std::string detail;
+};
+
+/// Compact deterministic JSON array of alarms (insertion order).
+std::string alarms_json(const std::vector<Alarm>& alarms);
+
+/// JSON string escaping for detail fields (quotes, backslashes, control
+/// characters). Exposed for the other health serializers.
+std::string json_escape(std::string_view s);
+
+}  // namespace zc::health

@@ -1,0 +1,111 @@
+#include "health/monitor.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/format.hpp"
+
+namespace zc::health {
+
+HealthMonitor::HealthMonitor(MonitorConfig config) : config_(config) {}
+
+void HealthMonitor::fire(NodeId node, AlarmKind kind, TimePoint now, std::string detail) {
+    if (!fired_.insert({node, kind}).second) return;  // latched
+    Alarm alarm;
+    alarm.node = node;
+    alarm.kind = kind;
+    alarm.first_seen = now;
+    alarm.detail = std::move(detail);
+    if (recorder_ != nullptr) recorder_->record_alarm(alarm);
+    alarms_.push_back(alarm);
+    if (hook_) hook_(alarms_.back());
+}
+
+void HealthMonitor::sample(TimePoint now, const std::vector<NodeSample>& nodes) {
+    ++samples_;
+
+    // Cluster commit frontier: the most advanced live node.
+    std::uint64_t frontier = 0;
+    for (const NodeSample& s : nodes) {
+        if (s.alive) frontier = std::max(frontier, s.decided);
+    }
+
+    for (const NodeSample& s : nodes) {
+        NodeState& st = states_[s.node];
+        if (!st.seen) {
+            st.seen = true;
+            st.decided_at_progress = s.decided;
+            st.soft_at_progress = s.soft_timeouts;
+            st.last_backlog = s.head_height - std::min(s.head_height, s.base_height);
+        }
+
+        if (!s.alive) continue;  // a crashed node's frozen counters are expected
+
+        // Stalled view: soft timers keep expiring but nothing commits.
+        if (s.decided > st.decided_at_progress) {
+            st.decided_at_progress = s.decided;
+            st.soft_at_progress = s.soft_timeouts;
+        } else if (s.soft_timeouts - st.soft_at_progress >= config_.stalled_soft_timeouts) {
+            fire(s.node, AlarmKind::kStalledView, now,
+                 zc::format("no commit progress since {} decided; {} soft timeouts, "
+                            "{} hard, {} view changes",
+                            s.decided, s.soft_timeouts - st.soft_at_progress, s.hard_timeouts,
+                            s.view_changes));
+        }
+
+        // Checkpoint lag: the head ran away from the stable checkpoint.
+        if (s.head_height > s.stable_height &&
+            s.head_height - s.stable_height > config_.checkpoint_lag_blocks) {
+            fire(s.node, AlarmKind::kCheckpointLag, now,
+                 zc::format("stable checkpoint at block {} trails head {} by {} blocks",
+                            s.stable_height, s.head_height,
+                            s.head_height - s.stable_height));
+        }
+
+        // Export backlog: unexported span growing monotonically.
+        if (config_.watch_export) {
+            const std::uint64_t backlog = s.head_height - std::min(s.head_height, s.base_height);
+            if (backlog > st.last_backlog) {
+                ++st.backlog_growth;
+            } else {
+                st.backlog_growth = 0;
+            }
+            st.last_backlog = backlog;
+            if (st.backlog_growth >= config_.export_backlog_samples &&
+                backlog >= config_.export_backlog_min_blocks) {
+                fire(s.node, AlarmKind::kExportBacklog, now,
+                     zc::format("{} unexported blocks, growing for {} samples", backlog,
+                                st.backlog_growth));
+            }
+        }
+
+        // Divergence: this node trails the cluster commit frontier.
+        if (frontier > s.decided && frontier - s.decided > config_.divergence_entries) {
+            fire(s.node, AlarmKind::kDivergence, now,
+                 zc::format("decided {} trails cluster frontier {} by {} entries (logged {})",
+                            s.decided, frontier, frontier - s.decided, s.logged));
+        }
+    }
+}
+
+std::string HealthMonitor::json() const {
+    std::string out;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"samples\":%" PRIu64
+                  ",\"config\":{\"sample_every_cycles\":%u,\"stalled_soft_timeouts\":%u,"
+                  "\"checkpoint_lag_blocks\":%" PRIu64
+                  ",\"export_backlog_samples\":%u,\"export_backlog_min_blocks\":%" PRIu64
+                  ",\"watch_export\":%s,\"divergence_entries\":%" PRIu64 "},\"alarms\":",
+                  samples_, config_.sample_every_cycles, config_.stalled_soft_timeouts,
+                  config_.checkpoint_lag_blocks, config_.export_backlog_samples,
+                  config_.export_backlog_min_blocks, config_.watch_export ? "true" : "false",
+                  config_.divergence_entries);
+    out += buf;
+    out += alarms_json(alarms_);
+    out += "}";
+    return out;
+}
+
+}  // namespace zc::health

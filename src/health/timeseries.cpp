@@ -1,0 +1,110 @@
+#include "health/timeseries.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace zc::health {
+
+namespace {
+
+constexpr const char* kColumns[] = {
+    "t_s",          "decided",      "throughput_rps", "logged",     "blocks",
+    "stable",       "backlog",      "soft_timeouts",  "view_changes", "rx_dropped",
+    "mem_mb",       "e2e_p50_ms",   "e2e_p99_ms",
+};
+constexpr std::size_t kColumnCount = sizeof(kColumns) / sizeof(kColumns[0]);
+
+}  // namespace
+
+const char* const* TimeSeries::columns(std::size_t* count) noexcept {
+    if (count != nullptr) *count = kColumnCount;
+    return kColumns;
+}
+
+void TimeSeries::sample(TimePoint now, const std::vector<NodeSample>& nodes) {
+    Row row;
+    row.t_s = to_seconds(now);
+
+    double mem_sum = 0.0;
+    std::size_t mem_n = 0;
+    for (const NodeSample& s : nodes) {
+        row.decided = std::max(row.decided, s.decided);
+        row.logged = std::max(row.logged, s.logged);
+        row.blocks = std::max(row.blocks, s.head_height);
+        row.stable = std::max(row.stable, s.stable_height);
+        row.backlog =
+            std::max(row.backlog, s.head_height - std::min(s.head_height, s.base_height));
+        row.soft_timeouts += s.soft_timeouts;
+        row.view_changes = std::max(row.view_changes, s.view_changes);
+        row.rx_dropped += s.rx_dropped;
+        mem_sum += s.mem_mb;
+        ++mem_n;
+    }
+    if (mem_n > 0) row.mem_mb = mem_sum / static_cast<double>(mem_n);
+
+    const double dt = row.t_s - last_t_s_;
+    if (!rows_.empty() && dt > 0.0 && row.decided >= last_decided_) {
+        row.throughput_rps = static_cast<double>(row.decided - last_decided_) / dt;
+    }
+    last_t_s_ = row.t_s;
+    last_decided_ = row.decided;
+
+    if (registry_ != nullptr) {
+        const trace::Histogram e2e = registry_->merged_histogram("e2e_ns");
+        if (e2e.count() > 0) {
+            row.e2e_p50_ms = e2e.percentile(0.5) / 1e6;
+            row.e2e_p99_ms = e2e.percentile(0.99) / 1e6;
+        }
+    }
+
+    rows_.push_back(row);
+}
+
+std::string TimeSeries::csv() const {
+    std::string out;
+    out.reserve(rows_.size() * 96 + 160);
+    for (std::size_t i = 0; i < kColumnCount; ++i) {
+        if (i != 0) out += ',';
+        out += kColumns[i];
+    }
+    out += '\n';
+    char buf[256];
+    for (const Row& r : rows_) {
+        std::snprintf(buf, sizeof buf,
+                      "%.3f,%" PRIu64 ",%.3f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.3f,%.3f,%.3f\n",
+                      r.t_s, r.decided, r.throughput_rps, r.logged, r.blocks, r.stable,
+                      r.backlog, r.soft_timeouts, r.view_changes, r.rx_dropped, r.mem_mb,
+                      r.e2e_p50_ms, r.e2e_p99_ms);
+        out += buf;
+    }
+    return out;
+}
+
+std::string TimeSeries::json() const {
+    std::string out = "{\"columns\":[";
+    for (std::size_t i = 0; i < kColumnCount; ++i) {
+        if (i != 0) out += ',';
+        out += '"';
+        out += kColumns[i];
+        out += '"';
+    }
+    out += "],\"rows\":[";
+    char buf[256];
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const Row& r = rows_[i];
+        if (i != 0) out += ',';
+        std::snprintf(buf, sizeof buf,
+                      "[%.3f,%" PRIu64 ",%.3f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.3f,%.3f,%.3f]",
+                      r.t_s, r.decided, r.throughput_rps, r.logged, r.blocks, r.stable,
+                      r.backlog, r.soft_timeouts, r.view_changes, r.rx_dropped, r.mem_mb,
+                      r.e2e_p50_ms, r.e2e_p99_ms);
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace zc::health

@@ -1,0 +1,65 @@
+// Time-series sink: the run's perf trajectory over virtual time.
+//
+// Receives the same periodic NodeSample snapshots as the HealthMonitor and
+// condenses each into one row — commit frontier, derived throughput,
+// chain/stable/backlog heights, timeout and view-change counters, queue
+// drops, memory, and (when a metrics registry is attached) the cumulative
+// end-to-end latency quantiles from the tracer's per-phase histograms. So
+// a run can be *plotted* over virtual time instead of only summarized at
+// the end.
+//
+// Rendered as CSV (one header line, fixed column order and precision) or
+// as a JSON document with the same fields; both byte-identical across runs
+// of the same seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "health/monitor.hpp"
+#include "trace/registry.hpp"
+
+namespace zc::health {
+
+class TimeSeries {
+public:
+    /// `registry` supplies the cumulative e2e latency quantiles per row
+    /// (null = those columns stay 0).
+    explicit TimeSeries(const trace::MetricsRegistry* registry = nullptr)
+        : registry_(registry) {}
+
+    /// Appends one row condensed from a cluster snapshot.
+    void sample(TimePoint now, const std::vector<NodeSample>& nodes);
+
+    std::size_t rows() const noexcept { return rows_.size(); }
+
+    std::string csv() const;
+    std::string json() const;
+
+    /// Column names, in emission order (shared by csv() and json()).
+    static const char* const* columns(std::size_t* count) noexcept;
+
+private:
+    struct Row {
+        double t_s = 0.0;
+        std::uint64_t decided = 0;  ///< cluster commit frontier
+        double throughput_rps = 0.0;
+        std::uint64_t logged = 0;
+        std::uint64_t blocks = 0;
+        std::uint64_t stable = 0;
+        std::uint64_t backlog = 0;  ///< head - prune base (unexported span)
+        std::uint64_t soft_timeouts = 0;
+        std::uint64_t view_changes = 0;
+        std::uint64_t rx_dropped = 0;
+        double mem_mb = 0.0;  ///< cluster mean
+        double e2e_p50_ms = 0.0;
+        double e2e_p99_ms = 0.0;
+    };
+
+    const trace::MetricsRegistry* registry_;
+    std::vector<Row> rows_;
+    double last_t_s_ = 0.0;
+    std::uint64_t last_decided_ = 0;
+};
+
+}  // namespace zc::health

@@ -194,6 +194,17 @@ void Scenario::build() {
     bus_->start();
     sim_.schedule(config_.mem_sample_period, [this] { sample_memory(); });
     sim_.schedule(config_.warmup, [this] { start_measuring(); });
+
+    // Health taps: one scheduled snapshot every N bus cycles; with no
+    // monitor or time-series sink attached this costs nothing at all.
+    if (config_.health_monitor != nullptr || config_.health_timeseries != nullptr) {
+        const std::uint32_t cycles =
+            config_.health_monitor != nullptr
+                ? config_.health_monitor->config().sample_every_cycles
+                : config_.timeseries_sample_cycles;
+        health_period_ = config_.bus_cycle * std::max<std::uint32_t>(1, cycles);
+        sim_.schedule(health_period_, [this] { sample_health(); });
+    }
 }
 
 void Scenario::wire_state_transfer() {
@@ -251,6 +262,40 @@ void Scenario::start_measuring() {
         bytes_at_start_.push_back(net_.stats(i).bytes_sent);
         bytes_rx_at_start_.push_back(net_.stats(i).bytes_received);
     }
+}
+
+health::NodeSample Scenario::snapshot_node(Node& node) const {
+    health::NodeSample s;
+    s.node = node.id();
+    s.alive = node.alive();
+    const pbft::ReplicaStats& rs = node.replica().stats();
+    s.decided = rs.decided;
+    s.view_changes = rs.new_views_installed;
+    if (node.layer() != nullptr) {
+        const zugchain::LayerStats& ls = node.layer()->stats();
+        s.logged = ls.logged;
+        s.soft_timeouts = ls.soft_timeouts;
+        s.hard_timeouts = ls.hard_timeouts;
+    } else {
+        s.logged = rs.decided;  // baseline mode: every decide is a log
+    }
+    s.head_height = node.store().head_height();
+    s.stable_height = node.replica().last_stable() / config_.block_size;
+    s.base_height = node.store().base_height();
+    s.rx_dropped = node.rx_dropped();
+    s.mem_mb = static_cast<double>(node.memory().total_bytes()) / (1024.0 * 1024.0);
+    return s;
+}
+
+void Scenario::sample_health() {
+    std::vector<health::NodeSample> samples;
+    samples.reserve(nodes_.size());
+    for (auto& node : nodes_) samples.push_back(snapshot_node(*node));
+    if (config_.health_monitor != nullptr) config_.health_monitor->sample(sim_.now(), samples);
+    if (config_.health_timeseries != nullptr) {
+        config_.health_timeseries->sample(sim_.now(), samples);
+    }
+    sim_.schedule(health_period_, [this] { sample_health(); });
 }
 
 void Scenario::sample_memory() {

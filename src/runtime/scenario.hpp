@@ -13,6 +13,8 @@
 #include <memory>
 
 #include "export/data_center.hpp"
+#include "health/monitor.hpp"
+#include "health/timeseries.hpp"
 #include "runtime/node.hpp"
 #include "train/generator.hpp"
 
@@ -84,6 +86,15 @@ struct ScenarioConfig {
     /// center (null = tracing off). DC events record under trace pid
     /// 100 + dc id, matching the network endpoint numbering.
     trace::TraceSink* trace_sink = nullptr;
+
+    /// Health taps (null = off; zero scheduling cost then). Every
+    /// `sample_every_cycles` bus cycles (from the monitor's config, or
+    /// the time-series default below when only that is attached) the
+    /// scenario snapshots all nodes on the virtual clock and feeds the
+    /// watchdog monitor and/or the time-series sink.
+    health::HealthMonitor* health_monitor = nullptr;
+    health::TimeSeries* health_timeseries = nullptr;
+    std::uint32_t timeseries_sample_cycles = 16;  ///< used without a monitor
 };
 
 struct NodeReport {
@@ -143,6 +154,8 @@ private:
     void wire_state_transfer();
     void start_measuring();
     void sample_memory();
+    void sample_health();
+    health::NodeSample snapshot_node(Node& node) const;
 
     ScenarioConfig config_;
     sim::Simulation sim_;
@@ -162,6 +175,8 @@ private:
     std::vector<ExtraBusRig> extra_buses_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<DataCenterHost>> dcs_;
+
+    Duration health_period_{0};
 
     // measurement window bookkeeping
     bool measuring_ = false;

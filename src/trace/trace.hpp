@@ -113,6 +113,29 @@ struct TraceContext {
     }
 };
 
+/// Fans instrumentation events out to several sinks (e.g. a Tracer and a
+/// health::FlightRecorder sharing the same taps). Null sinks are ignored
+/// at add() time, so callers can register optional sinks unconditionally.
+class FanOutSink final : public TraceSink {
+public:
+    void add(TraceSink* sink) {
+        if (sink != nullptr) sinks_.push_back(sink);
+    }
+    std::size_t sink_count() const noexcept { return sinks_.size(); }
+
+    void event(NodeId node, TimePoint at, Phase phase, TraceId trace,
+               std::uint64_t arg) override {
+        for (TraceSink* s : sinks_) s->event(node, at, phase, trace, arg);
+    }
+    void span(NodeId node, TimePoint start, Duration dur, Phase phase, TraceId trace,
+              std::uint64_t arg) override {
+        for (TraceSink* s : sinks_) s->span(node, start, dur, phase, trace, arg);
+    }
+
+private:
+    std::vector<TraceSink*> sinks_;
+};
+
 /// Recording sink: optional full event capture (Chrome JSON export) plus
 /// optional per-phase latency aggregation into a MetricsRegistry.
 class Tracer final : public TraceSink {

@@ -1,0 +1,190 @@
+#include "health/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "health/flight_recorder.hpp"
+
+namespace zc::health {
+namespace {
+
+NodeSample base_sample(NodeId node) {
+    NodeSample s;
+    s.node = node;
+    s.alive = true;
+    return s;
+}
+
+TEST(HealthMonitor, StalledViewFiresWithoutProgress) {
+    MonitorConfig cfg;
+    cfg.stalled_soft_timeouts = 3;
+    HealthMonitor m(cfg);
+
+    NodeSample s = base_sample(0);
+    s.decided = 100;
+    m.sample(TimePoint(1'000'000), {s});
+    ASSERT_FALSE(m.alarmed());
+
+    // Soft timers keep expiring, nothing commits.
+    for (int i = 1; i <= 4; ++i) {
+        s.soft_timeouts = static_cast<std::uint64_t>(i);
+        m.sample(TimePoint((1 + i) * 1'000'000), {s});
+    }
+    ASSERT_TRUE(m.alarmed());
+    EXPECT_EQ(m.alarms().size(), 1u);
+    EXPECT_EQ(m.alarms()[0].kind, AlarmKind::kStalledView);
+    EXPECT_EQ(m.alarms()[0].node, 0u);
+    EXPECT_EQ(m.alarms()[0].first_seen, TimePoint(4'000'000));  // 3rd timeout
+}
+
+TEST(HealthMonitor, StalledViewSilentWhileProgressing) {
+    HealthMonitor m;
+    NodeSample s = base_sample(0);
+    for (int i = 0; i < 20; ++i) {
+        s.decided += 10;        // commit progress every sample...
+        s.soft_timeouts += 5;   // ...despite frequent soft timeouts
+        m.sample(TimePoint(i * 1'000'000), {s});
+    }
+    EXPECT_FALSE(m.alarmed());
+}
+
+TEST(HealthMonitor, StalledViewIgnoresDeadNodes) {
+    HealthMonitor m;
+    NodeSample s = base_sample(0);
+    s.decided = 50;
+    s.soft_timeouts = 2;
+    m.sample(TimePoint(1'000'000), {s});
+    s.alive = false;  // crashed: counters freeze, soft timeouts never reset
+    s.soft_timeouts = 99;
+    for (int i = 2; i <= 6; ++i) m.sample(TimePoint(i * 1'000'000), {s});
+    EXPECT_FALSE(m.alarmed());
+}
+
+TEST(HealthMonitor, CheckpointLagFires) {
+    MonitorConfig cfg;
+    cfg.checkpoint_lag_blocks = 8;
+    HealthMonitor m(cfg);
+
+    NodeSample s = base_sample(2);
+    s.decided = 1;  // progress, so stalled-view stays quiet
+    s.head_height = 20;
+    s.stable_height = 15;
+    m.sample(TimePoint(1'000'000), {s});
+    EXPECT_FALSE(m.alarmed());  // lag 5 <= 8
+
+    s.decided = 2;
+    s.head_height = 30;
+    m.sample(TimePoint(2'000'000), {s});
+    ASSERT_TRUE(m.alarmed());
+    EXPECT_EQ(m.alarms()[0].kind, AlarmKind::kCheckpointLag);
+    EXPECT_EQ(m.alarms()[0].node, 2u);
+}
+
+TEST(HealthMonitor, ExportBacklogNeedsArmingAndSustainedGrowth) {
+    MonitorConfig cfg;
+    cfg.export_backlog_samples = 3;
+    cfg.export_backlog_min_blocks = 10;
+    cfg.checkpoint_lag_blocks = 1u << 20;  // isolate the backlog rule
+
+    const auto feed = [&](HealthMonitor& m) {
+        NodeSample s = base_sample(0);
+        s.base_height = 0;
+        for (int i = 1; i <= 6; ++i) {
+            s.decided += 10;
+            s.head_height += 5;  // backlog grows every sample
+            s.stable_height = s.head_height;
+            m.sample(TimePoint(i * 1'000'000), {s});
+        }
+    };
+
+    HealthMonitor unarmed(cfg);
+    feed(unarmed);
+    EXPECT_FALSE(unarmed.alarmed());  // no export infrastructure: silent
+
+    cfg.watch_export = true;
+    HealthMonitor armed(cfg);
+    feed(armed);
+    ASSERT_TRUE(armed.alarmed());
+    EXPECT_EQ(armed.alarms()[0].kind, AlarmKind::kExportBacklog);
+}
+
+TEST(HealthMonitor, DivergenceFiresForTrailingNode) {
+    MonitorConfig cfg;
+    cfg.divergence_entries = 50;
+    HealthMonitor m(cfg);
+
+    NodeSample leader = base_sample(0);
+    NodeSample trailer = base_sample(1);
+    leader.decided = 100;
+    trailer.decided = 80;
+    m.sample(TimePoint(1'000'000), {leader, trailer});
+    EXPECT_FALSE(m.alarmed());  // 20 behind: within bounds
+
+    leader.decided = 200;
+    trailer.decided = 120;
+    m.sample(TimePoint(2'000'000), {leader, trailer});
+    ASSERT_TRUE(m.alarmed());
+    ASSERT_EQ(m.alarms().size(), 1u);
+    EXPECT_EQ(m.alarms()[0].kind, AlarmKind::kDivergence);
+    EXPECT_EQ(m.alarms()[0].node, 1u);
+}
+
+TEST(HealthMonitor, AlarmsLatchPerNodeAndKind) {
+    MonitorConfig cfg;
+    cfg.stalled_soft_timeouts = 1;
+    HealthMonitor m(cfg);
+
+    NodeSample s = base_sample(0);
+    s.decided = 10;
+    m.sample(TimePoint(1'000'000), {s});
+    for (int i = 2; i <= 10; ++i) {
+        s.soft_timeouts += 2;  // keeps exceeding the threshold every sample
+        m.sample(TimePoint(i * 1'000'000), {s});
+    }
+    EXPECT_EQ(m.alarms().size(), 1u);  // latched: one alarm, not nine
+}
+
+TEST(HealthMonitor, AlarmsMirrorToRecorderAndHook) {
+    MonitorConfig cfg;
+    cfg.stalled_soft_timeouts = 1;
+    HealthMonitor m(cfg);
+    FlightRecorder recorder(8);
+    m.set_flight_recorder(&recorder);
+    int hook_calls = 0;
+    m.set_alarm_hook([&](const Alarm& a) {
+        ++hook_calls;
+        EXPECT_EQ(a.kind, AlarmKind::kStalledView);
+    });
+
+    NodeSample s = base_sample(0);
+    s.decided = 10;
+    m.sample(TimePoint(1'000'000), {s});
+    s.soft_timeouts = 2;
+    m.sample(TimePoint(2'000'000), {s});
+
+    EXPECT_EQ(hook_calls, 1);
+    const auto events = recorder.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, FlightEventKind::kAlarm);
+    EXPECT_NE(events[0].detail.find("stalled_view"), std::string::npos);
+}
+
+TEST(HealthMonitor, JsonIsDeterministic) {
+    const auto run = [] {
+        MonitorConfig cfg;
+        cfg.stalled_soft_timeouts = 1;
+        HealthMonitor m(cfg);
+        NodeSample s = base_sample(0);
+        s.decided = 10;
+        m.sample(TimePoint(1'000'000), {s});
+        s.soft_timeouts = 3;
+        m.sample(TimePoint(2'000'000), {s});
+        return m.json();
+    };
+    const std::string a = run();
+    EXPECT_EQ(a, run());
+    EXPECT_NE(a.find("\"alarms\":["), std::string::npos);
+    EXPECT_NE(a.find("\"samples\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::health

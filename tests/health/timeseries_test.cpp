@@ -1,0 +1,80 @@
+#include "health/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+
+namespace zc::health {
+namespace {
+
+std::vector<NodeSample> cluster(std::uint64_t decided0, std::uint64_t decided1) {
+    NodeSample a;
+    a.node = 0;
+    a.decided = decided0;
+    a.logged = decided0;
+    a.head_height = decided0 / 10;
+    a.stable_height = a.head_height;
+    a.base_height = 0;
+    a.soft_timeouts = 1;
+    a.mem_mb = 24.0;
+    NodeSample b = a;
+    b.node = 1;
+    b.decided = decided1;
+    b.logged = decided1;
+    b.mem_mb = 26.0;
+    return {a, b};
+}
+
+TEST(TimeSeries, GoldenCsv) {
+    TimeSeries ts;
+    ts.sample(seconds(1), cluster(100, 90));
+    ts.sample(seconds(2), cluster(200, 190));
+
+    // Exact golden output: aggregation is max over the cluster frontier,
+    // sum for soft timeouts, mean for memory; throughput is the decided
+    // delta over the sample interval (zero on the first row); latency
+    // quantile columns are 0 without a metrics registry.
+    const std::string expected =
+        "t_s,decided,throughput_rps,logged,blocks,stable,backlog,soft_timeouts,"
+        "view_changes,rx_dropped,mem_mb,e2e_p50_ms,e2e_p99_ms\n"
+        "1.000,100,0.000,100,10,10,10,2,0,0,25.000,0.000,0.000\n"
+        "2.000,200,100.000,200,20,20,20,2,0,0,25.000,0.000,0.000\n";
+    EXPECT_EQ(ts.csv(), expected);
+}
+
+TEST(TimeSeries, JsonMatchesCsvRows) {
+    TimeSeries ts;
+    ts.sample(seconds(1), cluster(10, 10));
+    const std::string json = ts.json();
+    EXPECT_NE(json.find("\"columns\":[\"t_s\",\"decided\""), std::string::npos);
+    EXPECT_NE(json.find("[1.000,10,0.000,10,1,1,1,2,0,0,25.000,0.000,0.000]"),
+              std::string::npos);
+}
+
+TEST(TimeSeries, QuantilesComeFromTheRegistry) {
+    trace::MetricsRegistry registry;
+    registry.histogram(0, "e2e_ns")->record(10'000'000);  // 10 ms
+    registry.histogram(1, "e2e_ns")->record(20'000'000);  // 20 ms
+
+    TimeSeries ts(&registry);
+    ts.sample(seconds(1), cluster(5, 5));
+    const std::string csv = ts.csv();
+    // p50/p99 of {10ms, 20ms} — both columns must be non-zero now.
+    const auto last_row = csv.substr(csv.find('\n') + 1);
+    EXPECT_EQ(last_row.find(",0.000,0.000\n"), std::string::npos) << last_row;
+}
+
+TEST(TimeSeries, DeterministicAcrossRuns) {
+    const auto run = [] {
+        TimeSeries ts;
+        for (int i = 1; i <= 5; ++i) {
+            ts.sample(seconds(i), cluster(static_cast<std::uint64_t>(i * 13),
+                                          static_cast<std::uint64_t>(i * 13 - 3)));
+        }
+        return ts.csv() + ts.json();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace zc::health

@@ -4,13 +4,19 @@
 //   zc_inspect <store-dir>              summary + integrity verification
 //   zc_inspect <store-dir> --dump H     decode the records of block H
 //   zc_inspect <store-dir> --events     list juridically notable events
+//   zc_inspect <store-dir> --health     offline chain health: recording
+//                                       cadence, gaps/stalls, body and
+//                                       export coverage (alarm-typed)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "chain/block_store.hpp"
 #include "common/hex.hpp"
 #include "export/messages.hpp"
+#include "health/health.hpp"
 #include "train/signal.hpp"
 
 using namespace zc;
@@ -92,11 +98,110 @@ void list_events(const chain::BlockStore& store) {
     }
 }
 
+/// Offline health read-out: everything a stored chain alone can reveal
+/// about how recording went, reported with the same alarm vocabulary the
+/// online watchdogs use (so an investigator sees "stalled_view" both in a
+/// live health dump and on the salvaged flash).
+void health_summary(const chain::BlockStore& store) {
+    const Height base = store.base_height();
+    const Height head = store.head_height();
+    std::vector<health::Alarm> alarms;
+
+    // Block headers are timestamped with the consensus sequence number
+    // (deterministic across replicas); wall-clock style times live inside
+    // the logged JRU records. Recording cadence therefore comes from the
+    // newest record timestamp of each block body.
+    std::size_t missing_headers = 0;
+    std::size_t trimmed_bodies = 0;
+    std::vector<std::pair<Height, double>> block_times;  // height -> latest record t (s)
+    for (Height h = base; h <= head; ++h) {
+        const chain::BlockHeader* hdr = store.header(h);
+        if (hdr == nullptr) {
+            ++missing_headers;
+            health::Alarm a;
+            a.kind = health::AlarmKind::kChainGap;
+            a.detail = "header missing at block " + std::to_string(h);
+            alarms.push_back(std::move(a));
+            continue;
+        }
+        const chain::Block* block = store.get(h);
+        if (block == nullptr) {
+            if (h > base) ++trimmed_bodies;  // the base block legitimately has no body
+            continue;
+        }
+        double t = -1;
+        for (const auto& req : block->requests) {
+            const auto record = codec::try_decode<train::LogRecord>(req.payload);
+            if (record) t = std::max(t, static_cast<double>(record->timestamp_ns) / 1e9);
+        }
+        if (t >= 0) block_times.emplace_back(h, t);
+    }
+
+    std::vector<double> gaps_s;
+    for (std::size_t i = 1; i < block_times.size(); ++i) {
+        gaps_s.push_back(block_times[i].second - block_times[i - 1].second);
+    }
+    double median_s = 0, max_gap_s = 0;
+    Height max_gap_after = base;
+    double max_gap_at_s = 0;
+    if (!gaps_s.empty()) {
+        std::vector<double> sorted = gaps_s;
+        std::sort(sorted.begin(), sorted.end());
+        median_s = sorted[sorted.size() / 2];
+        for (std::size_t i = 0; i < gaps_s.size(); ++i) {
+            if (gaps_s[i] > max_gap_s) {
+                max_gap_s = gaps_s[i];
+                max_gap_after = block_times[i].first;
+                max_gap_at_s = block_times[i].second;
+            }
+        }
+    }
+
+    std::printf("\n-- health --\n");
+    std::printf("blocks retained         : %llu..%llu (%zu headers, %zu bodies trimmed)\n",
+                static_cast<unsigned long long>(base), static_cast<unsigned long long>(head),
+                store.size(), trimmed_bodies);
+    std::printf("block cadence           : median %.3f s, max gap %.3f s\n", median_s,
+                max_gap_s);
+
+    // A recording stall shows up on the flash as a timestamp gap between
+    // consecutive blocks far beyond the steady cadence (timeouts + view
+    // change before the next block could form).
+    if (max_gap_s > 1.0 && median_s > 0 && max_gap_s > 5.0 * median_s) {
+        health::Alarm a;
+        a.kind = health::AlarmKind::kStalledView;
+        a.first_seen = millis_f(max_gap_at_s * 1000.0);
+        char detail[128];
+        std::snprintf(detail, sizeof detail,
+                      "recording gap of %.3f s after block %llu (median cadence %.3f s)",
+                      max_gap_s, static_cast<unsigned long long>(max_gap_after), median_s);
+        a.detail = detail;
+        alarms.push_back(std::move(a));
+    }
+
+    if (store.anchor()) {
+        std::printf("export coverage         : pruned below block %llu (delete evidence "
+                    "anchored), %llu blocks unexported\n",
+                    static_cast<unsigned long long>(store.anchor()->base_height),
+                    static_cast<unsigned long long>(head - base));
+    } else {
+        std::printf("export coverage         : no prune anchor — nothing exported yet "
+                    "(%llu blocks on flash)\n",
+                    static_cast<unsigned long long>(head - base));
+    }
+
+    std::printf("alarms                  : %zu\n", alarms.size());
+    for (const auto& alarm : alarms) {
+        std::printf("  %s: %s\n", health::alarm_kind_name(alarm.kind), alarm.detail.c_str());
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <store-dir> [--dump HEIGHT | --events]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s <store-dir> [--dump HEIGHT | --events | --health]\n",
+                     argv[0]);
         return 2;
     }
 
@@ -122,6 +227,8 @@ int main(int argc, char** argv) {
         dump_block(store, static_cast<Height>(std::stoull(argv[3])));
     } else if (argc >= 3 && std::strcmp(argv[2], "--events") == 0) {
         list_events(store);
+    } else if (argc >= 3 && std::strcmp(argv[2], "--health") == 0) {
+        health_summary(store);
     }
     return valid ? 0 : 1;
 }

@@ -7,18 +7,26 @@
 //                [--crash-primary-at-s N] [--fabricator NODE]
 //                [--store-dir DIR] [--crypto fast|ed25519]
 //                [--trace FILE] [--metrics FILE] [--json]
+//                [--health FILE] [--timeseries FILE] [--fail-on-alarm]
 //
 // Examples:
 //   zugchain_sim --duration-s 60
 //   zugchain_sim --mode baseline --cycle-ms 32
 //   zugchain_sim --dcs 2 --export-at-s 20 --duration-s 40
 //   zugchain_sim --trace trace.json   # open in Perfetto / chrome://tracing
+//   zugchain_sim --crash-primary-at-s 10 --health health.json --fail-on-alarm
+//
+// Exit codes: 0 ok, 1 chains inconsistent, 2 usage, 3 health alarm
+// (with --fail-on-alarm).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "health/flight_recorder.hpp"
+#include "health/monitor.hpp"
+#include "health/timeseries.hpp"
 #include "runtime/scenario.hpp"
 #include "trace/trace.hpp"
 
@@ -33,6 +41,9 @@ struct Args {
     int fabricator = -1;
     std::string trace_file;
     std::string metrics_file;
+    std::string health_file;
+    std::string timeseries_file;
+    bool fail_on_alarm = false;
     bool json = false;
 
     static void usage(const char* argv0) {
@@ -41,7 +52,8 @@ struct Args {
                      "          [--payload BYTES] [--block-size N] [--duration-s S] [--seed S]\n"
                      "          [--dcs N] [--export-at-s S] [--crash-primary-at-s S]\n"
                      "          [--fabricator NODE] [--store-dir DIR] [--crypto fast|ed25519]\n"
-                     "          [--trace FILE] [--metrics FILE] [--json]\n",
+                     "          [--trace FILE] [--metrics FILE] [--json]\n"
+                     "          [--health FILE] [--timeseries FILE] [--fail-on-alarm]\n",
                      argv0);
         std::exit(2);
     }
@@ -97,6 +109,12 @@ struct Args {
                 args.trace_file = need_value(i);
             } else if (flag == "--metrics") {
                 args.metrics_file = need_value(i);
+            } else if (flag == "--health") {
+                args.health_file = need_value(i);
+            } else if (flag == "--timeseries") {
+                args.timeseries_file = need_value(i);
+            } else if (flag == "--fail-on-alarm") {
+                args.fail_on_alarm = true;
             } else if (flag == "--json") {
                 args.json = true;
             } else {
@@ -168,12 +186,16 @@ int main(int argc, char** argv) {
 
     // Tracing/metrics: one sink shared by all nodes and data centers.
     // Event capture is only needed for the Chrome trace; the metrics dump
-    // works off the aggregation histograms alone.
-    const bool tracing = !args.trace_file.empty() || !args.metrics_file.empty();
+    // works off the aggregation histograms alone. The time-series sink
+    // reads e2e latency quantiles from the same registry, so it implies
+    // registry aggregation too.
+    const bool tracing = !args.trace_file.empty() || !args.metrics_file.empty() ||
+                         !args.timeseries_file.empty();
+    const bool health_on =
+        !args.health_file.empty() || !args.timeseries_file.empty() || args.fail_on_alarm;
     trace::MetricsRegistry registry;
     trace::Tracer tracer(/*capture_events=*/!args.trace_file.empty(), &registry);
     if (tracing) {
-        args.cfg.trace_sink = &tracer;
         for (std::uint32_t i = 0; i < args.cfg.n; ++i) {
             tracer.set_process_label(i, "node-" + std::to_string(i));
         }
@@ -181,6 +203,24 @@ int main(int argc, char** argv) {
             tracer.set_process_label(100 + d, "dc-" + std::to_string(d));
         }
     }
+
+    // Health: the flight recorder shares the trace tap with the Tracer, the
+    // watchdog monitor is driven by the scenario's virtual-clock sampling.
+    health::FlightRecorder recorder;
+    health::MonitorConfig mon_cfg;
+    mon_cfg.watch_export = args.cfg.dc_count > 0;
+    health::HealthMonitor monitor(mon_cfg);
+    health::TimeSeries timeseries(tracing ? &registry : nullptr);
+    trace::FanOutSink fan;
+    if (tracing) fan.add(&tracer);
+    if (health_on) {
+        fan.add(&recorder);
+        monitor.set_flight_recorder(&recorder);
+        recorder.hook_logs();
+        args.cfg.health_monitor = &monitor;
+        if (!args.timeseries_file.empty()) args.cfg.health_timeseries = &timeseries;
+    }
+    if (fan.sink_count() > 0) args.cfg.trace_sink = &fan;
 
     if (!args.json) {
         std::printf("zugchain_sim: mode=%s n=%u f=%u cycle=%lld ms payload=%zu block=%llu "
@@ -195,6 +235,7 @@ int main(int argc, char** argv) {
     }
 
     runtime::Scenario scenario(args.cfg);
+    if (health_on) recorder.set_clock(scenario.sim().now_handle());
     if (args.export_at_s > 0 && args.cfg.dc_count > 0) {
         scenario.sim().schedule(millis_f(args.export_at_s * 1000.0),
                                 [&scenario] { scenario.data_center(0).start_export(); });
@@ -223,8 +264,22 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (health_on) recorder.unhook_logs();
+
     if (!args.trace_file.empty()) {
         write_text_file(args.trace_file, tracer.chrome_json());
+    }
+    if (!args.health_file.empty()) {
+        // One self-contained report: watchdog verdicts plus the black box.
+        std::string health_json = "{\"monitor\":" + monitor.json() +
+                                  ",\"flight_recorder\":" + recorder.json() + "}\n";
+        write_text_file(args.health_file, health_json);
+    }
+    if (!args.timeseries_file.empty()) {
+        const bool ts_json = args.timeseries_file.size() >= 5 &&
+                             args.timeseries_file.compare(args.timeseries_file.size() - 5, 5,
+                                                          ".json") == 0;
+        write_text_file(args.timeseries_file, ts_json ? timeseries.json() : timeseries.csv());
     }
     if (!args.metrics_file.empty()) {
         // Fold the end-of-run resource numbers into the registry so the
@@ -239,9 +294,14 @@ int main(int argc, char** argv) {
         write_text_file(args.metrics_file, registry.json());
     }
 
+    // Exit codes: inconsistency dominates; an alarm turns an otherwise
+    // clean run into exit 3 when --fail-on-alarm is set.
+    int rc = consistent ? 0 : 1;
+    if (rc == 0 && args.fail_on_alarm && monitor.alarmed()) rc = 3;
+
     if (args.json) {
         print_json_report(args, r, consistent);
-        return consistent ? 0 : 1;
+        return rc;
     }
 
     std::printf("\n-- ordering --\n");
@@ -291,6 +351,20 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (health_on) {
+        std::printf("\n-- health --\n");
+        std::printf("samples taken           : %llu\n",
+                    static_cast<unsigned long long>(monitor.samples_taken()));
+        std::printf("alarms                  : %zu\n", monitor.alarms().size());
+        for (const auto& alarm : monitor.alarms()) {
+            std::printf("  [%.3f s] node %d %s: %s\n", to_seconds(alarm.first_seen),
+                        alarm.node == kNoNode ? -1 : static_cast<int>(alarm.node),
+                        health::alarm_kind_name(alarm.kind), alarm.detail.c_str());
+        }
+        std::printf("flight recorder         : %zu events retained, %llu dropped\n",
+                    recorder.size(), static_cast<unsigned long long>(recorder.dropped()));
+    }
+
     std::printf("\nchains consistent across live nodes: %s\n", consistent ? "yes" : "NO");
-    return consistent ? 0 : 1;
+    return rc;
 }
