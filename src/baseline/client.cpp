@@ -6,6 +6,10 @@ BaselineClient::BaselineClient(ClientConfig config, sim::Simulation& sim,
                                crypto::CryptoContext& crypto, ClientSender& sender)
     : config_(config), sim_(sim), crypto_(crypto), sender_(sender) {}
 
+BaselineClient::~BaselineClient() {
+    for (auto& [digest, p] : pending_) sim_.cancel(p.timer);
+}
+
 void BaselineClient::receive(Bytes payload, std::uint64_t uniquifier) {
     pbft::Request r;
     r.payload = std::move(payload);

@@ -48,6 +48,9 @@ public:
     BaselineClient(ClientConfig config, sim::Simulation& sim, crypto::CryptoContext& crypto,
                    ClientSender& sender);
 
+    /// Cancels pending retransmit timers (teardown safety on crash/restart).
+    ~BaselineClient();
+
     /// Parsed+filtered bus record: sign and submit to the primary.
     void receive(Bytes payload, std::uint64_t uniquifier);
 

@@ -1,8 +1,12 @@
 #include "chain/block_store.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "crypto/sha256.hpp"
 
 namespace zc::chain {
 
@@ -19,6 +23,43 @@ void write_file(const std::filesystem::path& path, BytesView data) {
     if (!out) throw std::runtime_error("cannot write " + path.string());
     out.write(reinterpret_cast<const char*>(data.data()),
               static_cast<std::streamsize>(data.size()));
+}
+
+/// Block files end with a sha256 trailer over the encoded block: the
+/// recovery marker. A torn or bit-flipped file fails the trailer check
+/// and is never served as a valid block.
+constexpr std::size_t kChecksumBytes = sizeof(crypto::Digest);
+
+void write_file_durable(const std::filesystem::path& path, BytesView data) {
+    Bytes framed(data.begin(), data.end());
+    const crypto::Digest sum = crypto::sha256(data);
+    framed.insert(framed.end(), sum.begin(), sum.end());
+    // Write-to-temp + rename so a crash mid-write leaves either the old
+    // file or a discardable .tmp, never a half-written "valid" block.
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    write_file(tmp, framed);
+    std::filesystem::rename(tmp, path);
+}
+
+/// Strips and verifies the checksum trailer; returns false on a torn,
+/// truncated, or corrupted file.
+bool unframe_checked(Bytes& data) noexcept {
+    if (data.size() < kChecksumBytes) return false;
+    const std::size_t body = data.size() - kChecksumBytes;
+    const crypto::Digest sum = crypto::sha256(BytesView(data.data(), body));
+    if (std::memcmp(sum.data(), data.data() + body, kChecksumBytes) != 0) return false;
+    data.resize(body);
+    return true;
+}
+
+/// Height encoded in a `block_%012llu.bin` filename, or nullopt when the
+/// name does not match (so corrupt files still have a known height).
+std::optional<Height> height_from_name(const std::string& name) {
+    if (!name.starts_with("block_") || !name.ends_with(".bin")) return std::nullopt;
+    const std::string digits = name.substr(6, name.size() - 6 - 4);
+    if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos)
+        return std::nullopt;
+    return static_cast<Height>(std::strtoull(digits.c_str(), nullptr, 10));
 }
 
 }  // namespace
@@ -52,7 +93,54 @@ BlockStore::BlockStore(metrics::Gauge* gauge, std::optional<std::filesystem::pat
 BlockStore::BlockStore(LoadTag, metrics::Gauge* gauge, std::filesystem::path dir)
     : gauge_(gauge), dir_(std::move(dir)) {}
 
-BlockStore BlockStore::load(const std::filesystem::path& dir, metrics::Gauge* gauge) {
+BlockStore::~BlockStore() { release_accounting(); }
+
+BlockStore::BlockStore(BlockStore&& other) noexcept
+    : entries_(std::move(other.entries_)),
+      base_height_(other.base_height_),
+      head_height_(other.head_height_),
+      head_hash_(other.head_hash_),
+      anchor_(std::move(other.anchor_)),
+      gauge_(other.gauge_),
+      dir_(std::move(other.dir_)),
+      stored_bytes_(other.stored_bytes_),
+      trace_(other.trace_) {
+    // The moved-from store no longer owns the gauge accounting.
+    other.gauge_ = nullptr;
+    other.stored_bytes_ = 0;
+    other.entries_.clear();
+}
+
+BlockStore& BlockStore::operator=(BlockStore&& other) noexcept {
+    if (this == &other) return *this;
+    release_accounting();
+    entries_ = std::move(other.entries_);
+    base_height_ = other.base_height_;
+    head_height_ = other.head_height_;
+    head_hash_ = other.head_hash_;
+    anchor_ = std::move(other.anchor_);
+    gauge_ = other.gauge_;
+    dir_ = std::move(other.dir_);
+    stored_bytes_ = other.stored_bytes_;
+    trace_ = other.trace_;
+    other.gauge_ = nullptr;
+    other.stored_bytes_ = 0;
+    other.entries_.clear();
+    return *this;
+}
+
+void BlockStore::release_accounting() noexcept {
+    if (gauge_ != nullptr && stored_bytes_ > 0)
+        gauge_->add(-static_cast<std::int64_t>(stored_bytes_));
+    stored_bytes_ = 0;
+}
+
+BlockStore BlockStore::load(const std::filesystem::path& dir, metrics::Gauge* gauge,
+                            RecoveryReport* report) {
+    RecoveryReport local;
+    RecoveryReport& rep = report != nullptr ? *report : local;
+    rep = RecoveryReport{};
+
     if (!std::filesystem::exists(dir)) return BlockStore(gauge, dir);
 
     BlockStore store(LoadTag{}, gauge, dir);
@@ -62,22 +150,107 @@ BlockStore BlockStore::load(const std::filesystem::path& dir, metrics::Gauge* ga
         store.anchor_ = codec::decode_from_bytes<PruneAnchor>(read_file(anchor_path));
     }
 
+    // Pass 1: decode every block file, separating verifiable blocks from
+    // torn/corrupt ones. Heights come from the filename so even an
+    // undecodable file is attributed to a definite position in the chain.
     std::map<Height, Block> blocks;
+    std::map<Height, std::string> bad;  // height -> rejected file
     for (const auto& entry : std::filesystem::directory_iterator(dir)) {
         const auto name = entry.path().filename().string();
+        if (name.ends_with(".tmp")) {
+            // Interrupted append: the rename never happened, so the block
+            // (if any) was re-proposed after restart. Always discard.
+            rep.discarded_files.push_back(entry.path().string());
+            rep.notes.push_back("interrupted write: " + name);
+            continue;
+        }
         if (!name.starts_with("block_")) continue;
-        Block b = codec::decode_from_bytes<Block>(read_file(entry.path()));
-        blocks.emplace(b.header.height, std::move(b));
+        const std::optional<Height> named_height = height_from_name(name);
+        if (!named_height) {
+            rep.discarded_files.push_back(entry.path().string());
+            rep.notes.push_back("unrecognized block file name: " + name);
+            continue;
+        }
+        Bytes data = read_file(entry.path());
+        if (!unframe_checked(data)) {
+            bad.emplace(*named_height, entry.path().string());
+            rep.notes.push_back("checksum mismatch (torn or corrupt): " + name);
+            continue;
+        }
+        try {
+            Block b = codec::decode_from_bytes<Block>(data);
+            if (b.header.height != *named_height) {
+                bad.emplace(*named_height, entry.path().string());
+                rep.notes.push_back("height/filename mismatch: " + name);
+                continue;
+            }
+            blocks.emplace(b.header.height, std::move(b));
+        } catch (const std::exception&) {
+            bad.emplace(*named_height, entry.path().string());
+            rep.notes.push_back("undecodable block: " + name);
+        }
     }
-    if (blocks.empty()) return BlockStore(gauge, dir);  // empty dir: fresh chain
+    if (blocks.empty() && bad.empty()) return BlockStore(gauge, dir);  // empty dir: fresh chain
 
-    store.base_height_ = blocks.begin()->first;
+    // Pass 2: keep the longest contiguous, hash-linked, payload-valid
+    // prefix starting at the lowest on-disk height. Everything above the
+    // first violation is untrusted — state transfer refills it.
+    Height lowest = blocks.empty() ? bad.begin()->first : blocks.begin()->first;
+    if (!bad.empty()) lowest = std::min(lowest, bad.begin()->first);
+    Height keep_end = lowest;  // exclusive: first height NOT kept
+    const Block* prev = nullptr;
+    for (Height h = lowest;; ++h) {
+        const auto it = blocks.find(h);
+        if (it == blocks.end()) break;
+        const Block& b = it->second;
+        if (prev != nullptr && b.header.parent_hash != prev->hash()) {
+            rep.notes.push_back("hash link broken at block " + std::to_string(h));
+            break;
+        }
+        if (!b.payload_valid()) {
+            rep.notes.push_back("payload root mismatch at block " + std::to_string(h));
+            break;
+        }
+        prev = &b;
+        keep_end = h + 1;
+    }
+
+    for (const auto& [h, block] : blocks) {
+        if (h >= keep_end) {
+            rep.blocks_discarded += 1;
+            rep.discarded_files.push_back(store.block_path(h).string());
+        }
+    }
+    for (const auto& [h, path] : bad) {
+        rep.blocks_discarded += 1;
+        rep.discarded_files.push_back(path);
+    }
+
+    if (keep_end == lowest) {
+        // No valid prefix at all (e.g. the base block itself is corrupt):
+        // the chain cannot anchor, so report unrepairable and hand back a
+        // fresh in-memory genesis. Nothing on disk is overwritten here —
+        // the first post-recovery append rewrites from height 1.
+        rep.unrepairable = true;
+        rep.notes.push_back("no valid prefix: store unrepairable, restarting from genesis");
+        BlockStore fresh(LoadTag{}, gauge, dir);
+        Block genesis = make_genesis();
+        fresh.head_hash_ = genesis.hash();
+        fresh.account(static_cast<std::int64_t>(genesis.size_bytes()));
+        fresh.entries_.emplace(0, Entry{std::move(genesis), true});
+        return fresh;
+    }
+
+    store.base_height_ = lowest;
     for (auto& [height, block] : blocks) {
+        if (height >= keep_end) continue;
         store.account(static_cast<std::int64_t>(block.size_bytes()));
         store.head_height_ = height;
         store.head_hash_ = block.hash();
         store.entries_.emplace(height, Entry{std::move(block), true});
+        rep.blocks_loaded += 1;
     }
+    rep.recovered_head = store.head_height_;
     return store;
 }
 
@@ -100,7 +273,7 @@ std::filesystem::path BlockStore::block_path(Height height) const {
 }
 
 void BlockStore::persist(const Block& block) const {
-    write_file(block_path(block.header.height), codec::encode_to_bytes(block));
+    write_file_durable(block_path(block.header.height), codec::encode_to_bytes(block));
 }
 
 void BlockStore::append(Block block) {

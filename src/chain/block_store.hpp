@@ -35,6 +35,20 @@ struct PruneAnchor {
     static PruneAnchor decode(codec::Reader& r);
 };
 
+/// What `BlockStore::load` found (and discarded) while restoring a store
+/// from disk after a crash. Load never deletes files — the report lists
+/// what an offline repair (`zc_inspect --repair`) should remove.
+struct RecoveryReport {
+    std::uint64_t blocks_loaded = 0;     ///< valid prefix restored into memory
+    std::uint64_t blocks_discarded = 0;  ///< corrupt / torn / unlinked entries
+    Height recovered_head = 0;           ///< head height after recovery
+    bool unrepairable = false;  ///< block files exist but no valid prefix
+    std::vector<std::string> discarded_files;  ///< paths load refused to trust
+    std::vector<std::string> notes;            ///< human-readable findings
+
+    bool clean() const noexcept { return blocks_discarded == 0 && !unrepairable; }
+};
+
 class BlockStore {
 public:
     /// In-memory store, seeded with the genesis block. If `dir` is given,
@@ -42,8 +56,22 @@ public:
     explicit BlockStore(metrics::Gauge* gauge = nullptr,
                         std::optional<std::filesystem::path> dir = std::nullopt);
 
-    /// Restores a store from a persistence directory.
-    static BlockStore load(const std::filesystem::path& dir, metrics::Gauge* gauge = nullptr);
+    /// Releases this store's bytes from the memory gauge.
+    ~BlockStore();
+
+    BlockStore(BlockStore&& other) noexcept;
+    BlockStore& operator=(BlockStore&& other) noexcept;
+    BlockStore(const BlockStore&) = delete;
+    BlockStore& operator=(const BlockStore&) = delete;
+
+    /// Restores a store from a persistence directory, tolerating a torn,
+    /// truncated, or bit-flipped tail: every block file carries a checksum
+    /// trailer, and load keeps only the longest prefix whose checksums,
+    /// heights, and parent links all verify. Discarded entries are listed
+    /// in `report` (if given) and left on disk for offline inspection;
+    /// state transfer refills the gap at runtime.
+    static BlockStore load(const std::filesystem::path& dir, metrics::Gauge* gauge = nullptr,
+                           RecoveryReport* report = nullptr);
 
     /// Appends a block; throws std::invalid_argument if the height or
     /// parent hash does not extend the current head.
@@ -103,6 +131,7 @@ private:
     };
 
     void account(std::int64_t delta);
+    void release_accounting() noexcept;
     std::filesystem::path block_path(Height height) const;
     void persist(const Block& block) const;
     static std::size_t body_bytes(const Block& block) noexcept;

@@ -12,9 +12,13 @@ DataCenter::DataCenter(DcConfig config, sim::Simulation& sim, crypto::CryptoCont
       rng_(sim.rng().fork("dc-" + std::to_string(config.id))), store_(store_gauge) {}
 
 void DataCenter::start_export() {
-    if (state_ != State::kIdle) return;
+    if (exporting()) return;
     stats_.exports_started += 1;
+    attempts_ = 0;
+    begin_round();
+}
 
+void DataCenter::begin_round() {
     state_ = State::kReading;
     current_ = ExportRecord{};
     current_.started = sim_.now();
@@ -49,16 +53,38 @@ void DataCenter::arm_timeout() {
     timeout_ = sim_.schedule(config_.reply_timeout, [this] {
         timeout_ = sim::kInvalidEvent;
         if (state_ == State::kReading || state_ == State::kFetching) {
-            // The chosen replica did not deliver (at worst a faulty node
-            // denying to respond, §V-B): retry with another one.
-            stats_.retries += 1;
-            excluded_full_.insert(full_from_);
-            state_ = State::kIdle;
-            start_export();
+            // The chosen replica did not deliver (a faulty node denying to
+            // respond, §V-B, or a link outage): retry with another one,
+            // after a backoff.
+            retry_round();
         } else if (state_ == State::kDeleting) {
             // Acks missing; report what we have.
             finish(true);
         }
+    });
+}
+
+void DataCenter::retry_round() {
+    stats_.retries += 1;
+    excluded_full_.insert(full_from_);
+    state_ = State::kIdle;
+    attempts_ += 1;
+    if (attempts_ > config_.max_retries) {
+        ZC_WARN("export-dc", "dc {} export abandoned after {} retries", config_.id, attempts_ - 1);
+        stats_.exports_failed += 1;
+        finish(false);
+        return;
+    }
+    // Exponential backoff: survive a link flap without hammering a dead
+    // uplink; the next round starts after the wait.
+    Duration backoff = config_.retry_backoff;
+    for (std::uint32_t i = 1; i < attempts_ && backoff < config_.retry_backoff_max; ++i) {
+        backoff = backoff * 2;
+    }
+    backoff = std::min(backoff, config_.retry_backoff_max);
+    retry_timer_ = sim_.schedule(backoff, [this] {
+        retry_timer_ = sim::kInvalidEvent;
+        begin_round();
     });
 }
 
@@ -141,10 +167,7 @@ void DataCenter::verify_and_continue() {
 
     if (!append_blocks(std::move(staged_blocks_))) {
         staged_blocks_.clear();
-        stats_.retries += 1;
-        excluded_full_.insert(full_from_);
-        state_ = State::kIdle;
-        start_export();
+        retry_round();
         return;
     }
     staged_blocks_.clear();

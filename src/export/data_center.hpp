@@ -37,6 +37,16 @@ struct DcConfig {
     SeqNo checkpoint_interval = 10;
     std::vector<DataCenterId> peers;  ///< the other companies' data centers
     Duration reply_timeout{seconds(20)};
+
+    /// Bounded retry with exponential backoff: a round that times out (or
+    /// delivers unusable blocks) is retried after `retry_backoff`,
+    /// doubling up to `retry_backoff_max`, at most `max_retries` times
+    /// before the export is abandoned as failed. This lets an export that
+    /// straddles an LTE outage complete once the link returns instead of
+    /// hammering a dead uplink or giving up after one timeout.
+    std::uint32_t max_retries = 8;
+    Duration retry_backoff{seconds(2)};
+    Duration retry_backoff_max{seconds(30)};
 };
 
 /// Timing/outcome record of one export run (Table II's rows).
@@ -77,7 +87,9 @@ public:
     const chain::BlockStore& store() const noexcept { return store_; }
     const std::vector<ExportRecord>& history() const noexcept { return history_; }
     const DcStats& stats() const noexcept { return stats_; }
-    bool exporting() const noexcept { return state_ != State::kIdle; }
+    bool exporting() const noexcept {
+        return state_ != State::kIdle || retry_timer_ != sim::kInvalidEvent;
+    }
 
     /// Attaches a trace sink; `trace_node` is the pid the DC's export
     /// spans are recorded under (DCs share the replica NodeId space in
@@ -97,6 +109,8 @@ private:
     void handle(const DcFetch& m);
 
     bool validate_proof(const pbft::CheckpointProof& proof);
+    void begin_round();
+    void retry_round();
     void maybe_complete_read();
     void verify_and_continue();
     bool append_blocks(std::vector<chain::Block> blocks);
@@ -126,6 +140,8 @@ private:
     TimePoint delete_started_{0};
     std::set<NodeId> acks_;
     sim::EventId timeout_ = sim::kInvalidEvent;
+    sim::EventId retry_timer_ = sim::kInvalidEvent;
+    std::uint32_t attempts_ = 0;  ///< retry rounds within the current export
 
     /// Latest validated stable checkpoint proof this DC holds; served to
     /// lagging peer data centers (error scenario (iv)).

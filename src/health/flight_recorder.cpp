@@ -28,6 +28,11 @@ bool FlightRecorder::notable(trace::Phase phase) noexcept {
         case trace::Phase::kExportDelete:
         case trace::Phase::kExportServeRead:
         case trace::Phase::kExportServeDelete:
+        case trace::Phase::kNodeDown:
+        case trace::Phase::kNodeRestart:
+        case trace::Phase::kStateTransfer:
+        case trace::Phase::kLinkDown:
+        case trace::Phase::kLinkUp:
             return true;
         default:
             return false;

@@ -12,6 +12,8 @@ const char* alarm_kind_name(AlarmKind kind) noexcept {
         case AlarmKind::kExportBacklog: return "export_backlog";
         case AlarmKind::kDivergence: return "divergence";
         case AlarmKind::kChainGap: return "chain_gap";
+        case AlarmKind::kNodeDown: return "node_down";
+        case AlarmKind::kRejoinStalled: return "rejoin_stalled";
     }
     return "?";
 }
@@ -54,6 +56,13 @@ std::string alarms_json(const std::vector<Alarm>& alarms) {
         std::snprintf(buf, sizeof buf, "\"kind\":\"%s\",\"first_seen_ns\":%" PRId64 ",",
                       alarm_kind_name(a.kind), static_cast<std::int64_t>(a.first_seen.count()));
         out += buf;
+        if (a.cleared) {
+            std::snprintf(buf, sizeof buf, "\"cleared_at_ns\":%" PRId64 ",",
+                          static_cast<std::int64_t>(a.cleared_at.count()));
+            out += buf;
+        } else {
+            out += "\"cleared_at_ns\":null,";
+        }
         out += "\"detail\":\"" + json_escape(a.detail) + "\"}";
     }
     out += "]";

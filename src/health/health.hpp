@@ -23,9 +23,11 @@ enum class AlarmKind : std::uint8_t {
     kExportBacklog,  ///< unexported blocks growing monotonically
     kDivergence,     ///< a node's decided count trailing the quorum frontier
     kChainGap,       ///< offline: block bodies missing inside the retained range
+    kNodeDown,       ///< a node stopped answering (crash/power loss)
+    kRejoinStalled,  ///< a restarted node failing to catch up to the cluster head
 };
 
-inline constexpr unsigned kAlarmKindCount = static_cast<unsigned>(AlarmKind::kChainGap) + 1;
+inline constexpr unsigned kAlarmKindCount = static_cast<unsigned>(AlarmKind::kRejoinStalled) + 1;
 
 const char* alarm_kind_name(AlarmKind kind) noexcept;
 
@@ -34,6 +36,13 @@ struct Alarm {
     AlarmKind kind = AlarmKind::kStalledView;
     TimePoint first_seen{0};
     std::string detail;
+
+    /// Recovery alarms (node down, rejoin stalled, checkpoint lag,
+    /// divergence) clear once the condition heals; the alarm stays in the
+    /// history with its clear time. A cleared alarm can re-fire as a new
+    /// entry. Alarms that never cleared represent unresolved degradation.
+    bool cleared = false;
+    TimePoint cleared_at{0};
 };
 
 /// Compact deterministic JSON array of alarms (insertion order).

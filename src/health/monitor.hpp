@@ -15,14 +15,21 @@
 //                         recording continues; armed only when export
 //                         infrastructure is part of the deployment),
 //   * divergence        — a node's decided count falls behind the cluster
-//                         commit frontier by more than a threshold.
+//                         commit frontier by more than a threshold,
+//   * node down         — a node stopped answering samples entirely
+//                         (crash / power loss),
+//   * rejoin stalled    — a restarted node keeps trailing the cluster head
+//                         instead of catching up via state transfer.
 //
 // Each rule latches one typed Alarm per (node, kind): the first detection
-// wins and repeated samples do not spam. Alarms are mirrored into the
-// flight recorder (if attached) and reported through an optional hook so
-// a harness can dump the black box the moment something trips. Everything
-// runs on virtual time: same seed, same samples, same alarms, byte-equal
-// reports.
+// wins and repeated samples do not spam. Recovery-class alarms (node down,
+// rejoin stalled, checkpoint lag, divergence) additionally *clear* once
+// the condition heals — the entry stays in the history with its clear
+// time, and the same (node, kind) may re-fire as a new entry later.
+// Alarms are mirrored into the flight recorder (if attached) and reported
+// through an optional hook so a harness can dump the black box the moment
+// something trips. Everything runs on virtual time: same seed, same
+// samples, same alarms, byte-equal reports.
 #pragma once
 
 #include <functional>
@@ -74,6 +81,14 @@ struct MonitorConfig {
 
     /// Divergence: decided entries a node may trail the cluster frontier.
     std::uint64_t divergence_entries = 50;
+
+    /// Rejoin: blocks a restarted node may trail the cluster chain head
+    /// and still count as caught up (clears node-down / rejoin-stalled).
+    std::uint64_t rejoin_lag_blocks = 4;
+
+    /// Rejoin stalled: samples a restarted node may spend behind the
+    /// catch-up line before the rejoin-stalled alarm fires.
+    std::uint32_t rejoin_stalled_samples = 12;
 };
 
 class HealthMonitor {
@@ -92,6 +107,16 @@ public:
 
     const std::vector<Alarm>& alarms() const noexcept { return alarms_; }
     bool alarmed() const noexcept { return !alarms_.empty(); }
+
+    /// True while at least one alarm has fired and not cleared. A run
+    /// whose every alarm cleared (e.g. a scheduled crash followed by a
+    /// successful rejoin) counts as healthy again.
+    bool any_active() const noexcept {
+        for (const Alarm& a : alarms_) {
+            if (!a.cleared) return true;
+        }
+        return false;
+    }
     std::uint64_t samples_taken() const noexcept { return samples_; }
     const MonitorConfig& config() const noexcept { return config_; }
 
@@ -105,9 +130,17 @@ private:
         std::uint64_t soft_at_progress = 0;
         std::uint64_t last_backlog = 0;
         std::uint32_t backlog_growth = 0;  ///< consecutive growth samples
+        bool down_seen = false;            ///< currently sampled as dead
+        bool rejoining = false;            ///< restarted, not yet caught up
+        std::uint32_t stalled_rejoin_samples = 0;
+        /// Decided entries missed while down: a restarted replica's counter
+        /// resumes from its durable watermark, so the divergence rule
+        /// compares `decided + decided_offset` against the frontier.
+        std::uint64_t decided_offset = 0;
     };
 
     void fire(NodeId node, AlarmKind kind, TimePoint now, std::string detail);
+    void clear(NodeId node, AlarmKind kind, TimePoint now);
 
     MonitorConfig config_;
     std::map<NodeId, NodeState> states_;

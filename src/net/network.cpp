@@ -64,10 +64,22 @@ void Network::send(EndpointId from, EndpointId to, Bytes message) {
             return;
         }
         TrafficStats& receiver = stats_[to];
+        if (down_.contains(to)) {
+            receiver.messages_dropped += 1;
+            return;
+        }
         receiver.bytes_received += wire_bytes;
         receiver.messages_received += 1;
         it->second->deliver(from, std::move(msg));
     });
+}
+
+void Network::set_endpoint_down(EndpointId id, bool down) {
+    if (down) {
+        down_.insert(id);
+    } else {
+        down_.erase(id);
+    }
 }
 
 void Network::set_blocked(EndpointId from, EndpointId to, bool blocked) {

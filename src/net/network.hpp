@@ -83,6 +83,13 @@ public:
     /// both directions for a full partition).
     void set_blocked(EndpointId from, EndpointId to, bool blocked);
 
+    /// Marks an endpoint as powered down (crashed node): messages already
+    /// in flight and new arrivals are dropped at the receiver NIC and
+    /// counted in the receiver's `messages_dropped`, instead of being
+    /// silently delivered into a dead process.
+    void set_endpoint_down(EndpointId id, bool down);
+    bool endpoint_down(EndpointId id) const { return down_.contains(id); }
+
     const TrafficStats& stats(EndpointId id);
 
     /// Sum of payload+framing bytes sent by all endpoints.
@@ -104,6 +111,7 @@ private:
     std::unordered_map<EndpointId, TimePoint> egress_free_;
     std::unordered_map<EndpointId, TrafficStats> stats_;
     std::set<std::pair<EndpointId, EndpointId>> blocked_;
+    std::set<EndpointId> down_;
     std::uint64_t total_bytes_sent_ = 0;
 };
 

@@ -13,7 +13,20 @@ constexpr std::size_t kPhaseMsgBytes = 104;  // prepare/commit wire footprint
 Replica::Replica(ReplicaConfig config, sim::Simulation& sim, crypto::CryptoContext& crypto,
                  Transport& transport, Application& app, metrics::Gauge* log_gauge)
     : config_(config), sim_(sim), crypto_(crypto), transport_(transport), app_(app),
-      log_gauge_(log_gauge) {}
+      log_gauge_(log_gauge),
+      view_(config.start_view),
+      next_seq_(config.start_seq + 1),
+      last_exec_(config.start_seq),
+      last_stable_(config.start_seq) {}
+
+Replica::~Replica() {
+    sim_.cancel(vc_timer_);
+    for (auto& [digest, timer] : request_timers_) sim_.cancel(timer);
+    if (log_gauge_ != nullptr) {
+        for (const auto& [seq, s] : log_)
+            log_gauge_->add(-static_cast<std::int64_t>(s.bytes));
+    }
+}
 
 // ---- public downcalls --------------------------------------------------
 
@@ -366,6 +379,25 @@ void Replica::make_stable(SeqNo seq, const crypto::Digest& state) {
                 it->second.executed = true;
             }
             last_exec_ = seq;
+            // A 2f+1 checkpoint beyond our execution point proves the
+            // cluster is ordering without us, so any view change we
+            // started was lag-induced suspicion, not a faulty primary.
+            // Abort it — nobody else will vote for it, and staying in
+            // view-change mode blocks every ordering message (a
+            // restarted replica would otherwise never rejoin). A real
+            // primary fault will re-trigger suspicion after catch-up.
+            if (in_view_change_) {
+                in_view_change_ = false;
+                vc_attempts_ = 0;
+                if (vc_timer_ != sim::kInvalidEvent) {
+                    sim_.cancel(vc_timer_);
+                    vc_timer_ = sim::kInvalidEvent;
+                }
+            }
+            // Successor slots may already hold commit quorums collected
+            // while we lagged; no further commit will arrive to trigger
+            // them, so drain here.
+            execute_ready();
         }
         garbage_collect(seq);
         app_.stable_checkpoint(seq, stable_proofs_[seq]);

@@ -99,6 +99,14 @@ struct ReplicaConfig {
 
     /// How many stable checkpoint proofs to retain for the export protocol.
     std::size_t proof_retention = 64;
+
+    /// Restart support: a recovering replica rejoins in the view the
+    /// cluster is believed to run (hint from the harness) with its
+    /// execution/stable watermark at the durable chain's head (so peer
+    /// checkpoints beyond it trigger state transfer instead of being
+    /// mistaken for stale duplicates).
+    View start_view = 0;
+    SeqNo start_seq = 0;
 };
 
 /// Counters exposed for tests and benchmarks.
@@ -119,6 +127,11 @@ class Replica {
 public:
     Replica(ReplicaConfig config, sim::Simulation& sim, crypto::CryptoContext& crypto,
             Transport& transport, Application& app, metrics::Gauge* log_gauge = nullptr);
+
+    /// Cancels pending virtual-time timers and releases the message-log
+    /// gauge accounting, so a replica can be torn down mid-run (node
+    /// crash/restart) without leaving events that fire into freed memory.
+    ~Replica();
 
     // -- downcalls (Tab. I, interface 1) --------------------------------
 

@@ -185,7 +185,18 @@ Node::Node(NodeOptions options, sim::Simulation& sim, net::Network& network,
     pbft_transport_ = std::make_unique<PbftTransportAdapter>(*this);
     export_transport_ = std::make_unique<ExportTransportAdapter>(*this);
     app_shim_ = std::make_unique<AppShim>(*this);
+    if (options_.mode == Mode::kZugChain) {
+        layer_transport_ = std::make_unique<LayerTransportAdapter>(*this);
+        consensus_adapter_ = std::make_unique<ConsensusAdapter>(*this);
+        log_shim_ = std::make_unique<LogShim>(*this);
+    } else {
+        client_sender_ = std::make_unique<ClientSenderAdapter>(*this);
+    }
 
+    build_stack(/*start_view=*/0, /*start_seq=*/0);
+}
+
+void Node::build_stack(View start_view, SeqNo start_seq) {
     chain_app_ = std::make_unique<zugchain::ChainApp>(store_, *crypto_, options_.block_size);
 
     pbft::ReplicaConfig rcfg;
@@ -197,35 +208,36 @@ Node::Node(NodeOptions options, sim::Simulation& sim, net::Network& network,
     rcfg.request_timeout =
         options_.mode == Mode::kBaseline ? options_.request_timeout : Duration::zero();
     rcfg.dedup_proposals = options_.byzantine.duplicate_rate <= 0.0;
+    rcfg.start_view = start_view;
+    rcfg.start_seq = start_seq;
 
-    replica_ = std::make_unique<pbft::Replica>(rcfg, sim, *crypto_, *pbft_transport_, *app_shim_,
-                                               memory_.gauge("pbft-log"));
+    replica_ = std::make_unique<pbft::Replica>(rcfg, sim_, *crypto_, *pbft_transport_,
+                                               *app_shim_, memory_.gauge("pbft-log"));
     replica_->set_trace(options_.trace);
-    store_.set_trace({options_.trace, options_.id, sim.now_handle()});
+    store_.set_trace({options_.trace, options_.id, sim_.now_handle()});
 
     if (options_.mode == Mode::kZugChain) {
-        layer_transport_ = std::make_unique<LayerTransportAdapter>(*this);
-        consensus_adapter_ = std::make_unique<ConsensusAdapter>(*this);
-        log_shim_ = std::make_unique<LogShim>(*this);
-
         zugchain::LayerConfig lcfg;
         lcfg.id = options_.id;
         lcfg.soft_timeout = options_.soft_timeout;
         lcfg.hard_timeout = options_.hard_timeout;
         lcfg.max_open_per_origin = options_.max_open_per_origin;
         layer_ = std::make_unique<zugchain::CommunicationLayer>(
-            lcfg, sim, *crypto_, *layer_transport_, *log_shim_, memory_.gauge("layer-queue"));
+            lcfg, sim_, *crypto_, *layer_transport_, *log_shim_, memory_.gauge("layer-queue"));
         layer_->attach_consensus(*consensus_adapter_);
         layer_->set_trace(options_.trace);
     } else {
-        client_sender_ = std::make_unique<ClientSenderAdapter>(*this);
         baseline::ClientConfig ccfg;
         ccfg.id = options_.id;
         ccfg.retransmit_timeout = options_.client_timeout;
-        client_ = std::make_unique<baseline::BaselineClient>(ccfg, sim, *crypto_,
+        client_ = std::make_unique<baseline::BaselineClient>(ccfg, sim_, *crypto_,
                                                              *client_sender_);
         baseline_app_ = std::make_unique<baseline::BaselineApp>(*chain_app_, *client_);
     }
+
+    // A rejoining replica must agree with the cluster about who leads the
+    // current view before it can route requests.
+    if (start_view > 0) app_shim_->new_primary(start_view, replica_->primary_of(start_view));
 
     exporter::ServerConfig ecfg;
     ecfg.id = options_.id;
@@ -234,10 +246,70 @@ Node::Node(NodeOptions options, sim::Simulation& sim, net::Network& network,
     export_server_ =
         std::make_unique<exporter::ExportServer>(ecfg, *crypto_, store_, *export_transport_);
     export_server_->set_proof_provider([this] { return replica_->latest_stable_proof(); });
-    export_server_->set_trace({options_.trace, options_.id, sim.now_handle()});
+    export_server_->set_trace({options_.trace, options_.id, sim_.now_handle()});
 }
 
 Node::~Node() = default;
+
+void Node::crash() noexcept {
+    if (!alive_) return;
+    alive_ = false;
+    // A power loss takes the run queue with it: queued protocol jobs are
+    // dropped and their buffered bytes leave the rx accounting. In-flight
+    // network messages get dropped (and counted) at the receiver NIC.
+    executor_->clear_queue();
+    rx_gauge_->set(0);
+    network_.set_endpoint_down(options_.id, true);
+    if (options_.trace != nullptr) {
+        options_.trace->event(options_.id, sim_.now(), trace::Phase::kNodeDown, options_.id,
+                              store_.head_height());
+    }
+}
+
+void Node::restart(View start_view) {
+    if (alive_) return;
+    restarts_ += 1;
+
+    // Volatile protocol state dies with the process. Component destructors
+    // cancel their pending virtual-time timers so no stale event fires
+    // into freed state. Order respects reference dependencies.
+    export_server_.reset();
+    replica_.reset();
+    layer_.reset();
+    baseline_app_.reset();
+    client_.reset();
+    chain_app_.reset();
+    parsers_.clear();
+    receive_times_.clear();
+    recent_payloads_.clear();
+
+    // Reload the durable chain; a torn tail is truncated to the last valid
+    // prefix and refilled by state transfer after rejoin. Without a store
+    // directory the chain restarts from genesis (pure in-memory deployment).
+    last_recovery_ = chain::RecoveryReport{};
+    if (options_.store_dir) {
+        store_ = chain::BlockStore::load(*options_.store_dir, memory_.gauge("chain"),
+                                         &last_recovery_);
+        if (!last_recovery_.clean()) {
+            ZC_WARN("node", "node {} store recovery discarded {} block(s), resuming at head {}",
+                    options_.id, last_recovery_.blocks_discarded,
+                    last_recovery_.recovered_head);
+        }
+    } else {
+        store_ = chain::BlockStore(memory_.gauge("chain"));
+    }
+
+    // Resume consensus at the durable head: the next checkpoint the peers
+    // stabilize beyond it triggers sync_state -> state transfer.
+    build_stack(start_view, store_.head_height() * options_.block_size);
+
+    alive_ = true;
+    network_.set_endpoint_down(options_.id, false);
+    if (options_.trace != nullptr) {
+        options_.trace->event(options_.id, sim_.now(), trace::Phase::kNodeRestart, options_.id,
+                              store_.head_height());
+    }
+}
 
 void Node::send_enveloped(net::EndpointId to, Channel channel, Bytes body) {
     if (!alive_) return;
@@ -247,7 +319,10 @@ void Node::send_enveloped(net::EndpointId to, Channel channel, Bytes body) {
 void Node::on_telegram(const bus::Telegram& telegram) { on_telegram_from(0, telegram); }
 
 void Node::on_telegram_from(std::uint32_t source, const bus::Telegram& telegram) {
-    if (!alive_) return;
+    if (!alive_) {
+        telegrams_missed_ += 1;
+        return;
+    }
     telegrams_ += 1;
     executor_->submit([this, source, telegram] {
         process_telegram(source, telegram);

@@ -119,7 +119,20 @@ public:
     void request_emergency_trim(Height up_to);
 
     // -- control ----------------------------------------------------------
-    void crash() noexcept { alive_ = false; }
+
+    /// Power loss: stops consuming bus and network input, drops every
+    /// queued-but-unprocessed protocol job, and marks the network endpoint
+    /// down so in-flight messages are dropped (and counted) at the NIC.
+    void crash() noexcept;
+
+    /// Reboot after a crash: reloads the persisted chain (truncating any
+    /// torn tail), rebuilds the volatile protocol stack resuming at the
+    /// durable head, and re-arms the network endpoint. `start_view` is the
+    /// harness's hint of the view the cluster currently runs; catch-up
+    /// beyond the durable head happens via checkpoint-driven state
+    /// transfer. No-op while the node is alive.
+    void restart(View start_view = 0);
+
     bool alive() const noexcept { return alive_; }
 
     /// Starts/stops latency recording (scenario warmup control).
@@ -141,6 +154,13 @@ public:
 
     std::uint64_t telegrams_seen() const noexcept { return telegrams_; }
     std::uint64_t rx_dropped() const noexcept { return executor_->dropped(); }
+    std::uint64_t restarts() const noexcept { return restarts_; }
+
+    /// Bus telegrams that arrived while the node was down.
+    std::uint64_t telegrams_missed() const noexcept { return telegrams_missed_; }
+
+    /// What the last `restart()` found when reloading the store.
+    const chain::RecoveryReport& last_recovery() const noexcept { return last_recovery_; }
 
 private:
     struct PbftTransportAdapter;
@@ -150,6 +170,12 @@ private:
     struct LogShim;
     struct ExportTransportAdapter;
     struct ClientSenderAdapter;
+
+    /// Builds (or rebuilds, on restart) the volatile protocol components
+    /// on top of the durable store: chain app, replica, layer or baseline
+    /// client, export server. `start_view`/`start_seq` position the
+    /// replica for a rejoin (0/0 on first boot).
+    void build_stack(View start_view, SeqNo start_seq);
 
     void dispatch(net::EndpointId from, const Envelope& envelope);
     void process_telegram(std::uint32_t source, const bus::Telegram& telegram);
@@ -202,6 +228,9 @@ private:
     std::deque<Bytes> recent_payloads_;  // for the duplicate-proposer attack
 
     std::uint64_t telegrams_ = 0;
+    std::uint64_t telegrams_missed_ = 0;
+    std::uint64_t restarts_ = 0;
+    chain::RecoveryReport last_recovery_;
 };
 
 }  // namespace zc::runtime

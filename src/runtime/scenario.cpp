@@ -23,6 +23,9 @@ public:
         cfg.f = scenario.config_.f;
         cfg.checkpoint_interval = scenario.config_.block_size;
         cfg.reply_timeout = scenario.config_.export_timeout;
+        cfg.max_retries = scenario.config_.export_max_retries;
+        cfg.retry_backoff = scenario.config_.export_retry_backoff;
+        cfg.retry_backoff_max = scenario.config_.export_retry_backoff_max;
         for (DataCenterId other = 0; other < scenario.config_.dc_count; ++other) {
             if (other != id) cfg.peers.push_back(other);
         }
@@ -185,10 +188,22 @@ void Scenario::build() {
 
     wire_state_transfer();
 
-    // Fault schedule.
-    for (const auto& [when, id] : config_.crash_schedule) {
-        Node* target = nodes_.at(id).get();
-        sim_.schedule(when, [target] { target->crash(); });
+    // Fault schedules: crashes (optionally auto-restarting), explicit
+    // restarts, and link flaps.
+    for (const auto& c : config_.crash_schedule) {
+        const NodeId id = c.node;
+        sim_.schedule(c.at, [this, id] { crash_node(id); });
+        if (c.restart_after > Duration::zero()) {
+            sim_.schedule(c.at + c.restart_after, [this, id] { restart_node(id); });
+        }
+    }
+    for (const auto& [when, id] : config_.restart_schedule) {
+        const NodeId node = id;
+        sim_.schedule(when, [this, node] { restart_node(node); });
+    }
+    for (const auto& flap : config_.link_flaps) {
+        sim_.schedule(flap.at, [this, flap] { apply_flap(flap, true); });
+        sim_.schedule(flap.at + flap.duration, [this, flap] { apply_flap(flap, false); });
     }
 
     bus_->start();
@@ -208,45 +223,101 @@ void Scenario::build() {
 }
 
 void Scenario::wire_state_transfer() {
+    for (auto& node : nodes_) install_state_fetcher(*node);
+}
+
+void Scenario::install_state_fetcher(Node& node) {
     // State transfer (paper §III-D discussion (ii)): a lagging replica
     // fetches missing blocks from a peer and validates the chain against
     // the checkpoint digest before adopting it. Modelled as a validated
     // in-process copy; the bulk-transfer cost is charged to the CPU model
-    // (bandwidth cost is covered by the export experiments).
-    for (std::uint32_t i = 0; i < config_.n; ++i) {
-        Node* self = nodes_[i].get();
-        self->chain_app().set_state_fetcher([this, self](SeqNo seq,
-                                                         const crypto::Digest& state) {
-            const Height target = seq / config_.block_size;
-            for (const auto& peer : nodes_) {
-                if (peer.get() == self || !peer->alive()) continue;
-                chain::BlockStore& src = peer->store();
-                if (src.head_height() < target) continue;
-                const Height from = self->store().head_height() + 1;
-                if (from < src.base_height()) continue;  // peer pruned too far
-                bool ok = true;
-                for (const chain::Block& b : src.range(from, target)) {
-                    self->crypto().charge_hash(b.size_bytes());
-                    chain::Block copy = b;
-                    try {
-                        self->store().append(std::move(copy));
-                    } catch (const std::invalid_argument&) {
-                        ok = false;
-                        break;
-                    }
-                    if (self->layer() != nullptr) {
-                        for (const chain::LoggedRequest& req : b.requests) {
-                            self->layer()->mark_logged(crypto::sha256(req.payload));
-                        }
-                    }
+    // (bandwidth cost is covered by the export experiments). Re-installed
+    // after a restart (the chain app is rebuilt).
+    Node* self = &node;
+    self->chain_app().set_state_fetcher([this, self](SeqNo seq, const crypto::Digest& state) {
+        const Height target = seq / config_.block_size;
+        for (const auto& peer : nodes_) {
+            if (peer.get() == self || !peer->alive()) continue;
+            chain::BlockStore& src = peer->store();
+            if (src.head_height() < target) continue;
+            const Height from = self->store().head_height() + 1;
+            if (from < src.base_height()) continue;  // peer pruned too far
+            bool ok = true;
+            std::uint64_t copied = 0;
+            for (const chain::Block& b : src.range(from, target)) {
+                self->crypto().charge_hash(b.size_bytes());
+                chain::Block copy = b;
+                try {
+                    self->store().append(std::move(copy));
+                } catch (const std::invalid_argument&) {
+                    ok = false;
+                    break;
                 }
-                if (ok && self->store().head_height() >= target &&
-                    self->store().head_hash() == state) {
-                    return true;
+                copied += 1;
+                if (self->layer() != nullptr) {
+                    for (const chain::LoggedRequest& req : b.requests) {
+                        self->layer()->mark_logged(crypto::sha256(req.payload));
+                    }
                 }
             }
-            return false;
-        });
+            if (ok && self->store().head_height() >= target &&
+                self->store().head_hash() == state) {
+                state_transfer_fetches_ += 1;
+                state_transfer_blocks_ += copied;
+                if (config_.trace_sink != nullptr) {
+                    config_.trace_sink->event(self->id(), sim_.now(),
+                                              trace::Phase::kStateTransfer, seq, copied);
+                }
+                return true;
+            }
+        }
+        return false;
+    });
+}
+
+void Scenario::crash_node(NodeId id) { nodes_.at(id)->crash(); }
+
+void Scenario::restart_node(NodeId id) {
+    Node& target = *nodes_.at(id);
+    if (target.alive()) return;
+    // Rejoin in the highest view any surviving replica runs; the durable
+    // chain and checkpoint-driven state transfer handle the rest.
+    View view = 0;
+    for (const auto& peer : nodes_) {
+        if (peer->alive()) view = std::max(view, peer->replica().view());
+    }
+    target.restart(view);
+    install_state_fetcher(target);
+}
+
+void Scenario::apply_flap(const ScenarioConfig::LinkFlap& flap, bool blocked) {
+    if (flap.link == ScenarioConfig::LinkFlap::Link::kLte) {
+        // The whole LTE uplink: every node <-> data-center pair.
+        for (std::uint32_t i = 0; i < config_.n; ++i) {
+            for (std::uint32_t d = 0; d < config_.dc_count; ++d) {
+                net_.set_blocked(i, kDcBase + d, blocked);
+                net_.set_blocked(kDcBase + d, i, blocked);
+            }
+        }
+    } else {
+        // Transient partition: one node cut off from peers and DCs.
+        for (std::uint32_t i = 0; i < config_.n; ++i) {
+            if (i == flap.node) continue;
+            net_.set_blocked(flap.node, i, blocked);
+            net_.set_blocked(i, flap.node, blocked);
+        }
+        for (std::uint32_t d = 0; d < config_.dc_count; ++d) {
+            net_.set_blocked(flap.node, kDcBase + d, blocked);
+            net_.set_blocked(kDcBase + d, flap.node, blocked);
+        }
+    }
+    if (config_.trace_sink != nullptr) {
+        const NodeId who =
+            flap.link == ScenarioConfig::LinkFlap::Link::kLte ? kNoNode : flap.node;
+        config_.trace_sink->event(who, sim_.now(),
+                                  blocked ? trace::Phase::kLinkDown : trace::Phase::kLinkUp,
+                                  static_cast<std::uint64_t>(who),
+                                  static_cast<std::uint64_t>(flap.duration.count()));
     }
 }
 

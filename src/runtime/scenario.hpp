@@ -62,12 +62,44 @@ struct ScenarioConfig {
     std::map<NodeId, bus::TapFaults> tap_faults;
 
     std::map<NodeId, ByzantineBehavior> byzantine;
-    std::vector<std::pair<Duration, NodeId>> crash_schedule;
+
+    /// Crash (power loss) schedule. `restart_after > 0` reboots the node
+    /// that long after the crash; 0 leaves it down (fail-stop).
+    struct CrashEntry {
+        Duration at{0};
+        NodeId node = 0;
+        Duration restart_after{0};
+
+        CrashEntry() = default;
+        CrashEntry(Duration at, NodeId node, Duration restart_after = Duration{0})
+            : at(at), node(node), restart_after(restart_after) {}
+    };
+    std::vector<CrashEntry> crash_schedule;
+
+    /// Explicit restarts (for nodes crashed without `restart_after`).
+    std::vector<std::pair<Duration, NodeId>> restart_schedule;
+
+    /// Timed link outages: an LTE uplink dropping for minutes during an
+    /// export, or one node transiently partitioned from its peers.
+    struct LinkFlap {
+        enum class Link { kLte, kNode };
+        Duration at{0};
+        Duration duration{seconds(30)};
+        Link link = Link::kLte;
+        NodeId node = 0;  ///< isolated node (Link::kNode only)
+    };
+    std::vector<LinkFlap> link_flaps;
 
     // Data centers (0 = no export infrastructure).
     std::uint32_t dc_count = 0;
     std::size_t delete_quorum = 2;
     Duration export_timeout{seconds(60)};
+
+    // Export retry policy (see DcConfig): bounded rounds with exponential
+    // backoff so an export straddling a link outage completes afterwards.
+    std::uint32_t export_max_retries = 8;
+    Duration export_retry_backoff{seconds(2)};
+    Duration export_retry_backoff_max{seconds(30)};
 
     // Links.
     net::LinkProfile train_link = net::LinkProfile::train_ethernet();
@@ -141,6 +173,17 @@ public:
 
     Node& node(std::size_t i) { return *nodes_.at(i); }
     std::size_t node_count() const noexcept { return nodes_.size(); }
+
+    /// Crashes / restarts a node immediately (same path the schedules
+    /// use). Restart picks the highest view among the surviving replicas
+    /// as the rejoin view hint and re-wires state transfer.
+    void crash_node(NodeId id);
+    void restart_node(NodeId id);
+
+    /// Successful state-transfer fetches (and blocks copied) so far.
+    std::uint64_t state_transfer_fetches() const noexcept { return state_transfer_fetches_; }
+    std::uint64_t state_transfer_blocks() const noexcept { return state_transfer_blocks_; }
+
     exporter::DataCenter& data_center(std::size_t i);
     sim::Simulation& sim() noexcept { return sim_; }
     net::Network& network() noexcept { return net_; }
@@ -152,6 +195,8 @@ private:
 
     void build();
     void wire_state_transfer();
+    void install_state_fetcher(Node& node);
+    void apply_flap(const ScenarioConfig::LinkFlap& flap, bool blocked);
     void start_measuring();
     void sample_memory();
     void sample_health();
@@ -177,6 +222,8 @@ private:
     std::vector<std::unique_ptr<DataCenterHost>> dcs_;
 
     Duration health_period_{0};
+    std::uint64_t state_transfer_fetches_ = 0;
+    std::uint64_t state_transfer_blocks_ = 0;
 
     // measurement window bookkeeping
     bool measuring_ = false;

@@ -34,6 +34,14 @@ public:
     /// Enqueues a job. Returns false if it was dropped (queue full).
     bool submit(Job job);
 
+    /// Discards every queued (not yet started) job, modelling a crashed
+    /// node losing its run queue. Returns how many jobs were dropped.
+    std::size_t clear_queue() noexcept {
+        const std::size_t n = queue_.size();
+        queue_.clear();
+        return n;
+    }
+
     int cores() const noexcept { return cores_; }
     Duration busy_time() const noexcept { return busy_; }
     std::size_t queue_depth() const noexcept { return queue_.size(); }

@@ -41,6 +41,11 @@ constexpr PhaseInfo kPhaseInfo[kPhaseCount] = {
     {"export_delete", "export", 4},
     {"export_serve_read", "export", 4},
     {"export_serve_delete", "export", 4},
+    {"node_down", "runtime", 5},
+    {"node_restart", "runtime", 5},
+    {"state_transfer", "runtime", 5},
+    {"link_down", "runtime", 5},
+    {"link_up", "runtime", 5},
 };
 
 constexpr TimePoint kUnset{-1};

@@ -73,9 +73,15 @@ enum class Phase : std::uint8_t {
     kExportDelete,
     kExportServeRead,
     kExportServeDelete,
+    // runtime lifecycle (crash-recovery, link chaos)
+    kNodeDown,
+    kNodeRestart,
+    kStateTransfer,
+    kLinkDown,
+    kLinkUp,
 };
 
-inline constexpr unsigned kPhaseCount = static_cast<unsigned>(Phase::kExportServeDelete) + 1;
+inline constexpr unsigned kPhaseCount = static_cast<unsigned>(Phase::kLinkUp) + 1;
 
 const char* phase_name(Phase p) noexcept;
 

@@ -11,6 +11,15 @@ CommunicationLayer::CommunicationLayer(LayerConfig config, sim::Simulation& sim,
     : config_(config), sim_(sim), crypto_(crypto), transport_(transport), sink_(sink),
       queue_gauge_(queue_gauge) {}
 
+CommunicationLayer::~CommunicationLayer() {
+    for (auto& [digest, open] : open_) {
+        sim_.cancel(open.soft_timer);
+        sim_.cancel(open.hard_timer);
+        if (queue_gauge_)
+            queue_gauge_->add(-static_cast<std::int64_t>(request_bytes(open.request)));
+    }
+}
+
 pbft::Request CommunicationLayer::make_signed_request(BytesView payload,
                                                       std::uint64_t uniquifier) {
     pbft::Request r;

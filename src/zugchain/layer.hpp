@@ -111,6 +111,10 @@ public:
                        LayerTransport& transport, LogSink& sink,
                        metrics::Gauge* queue_gauge = nullptr);
 
+    /// Cancels all open-request soft/hard timers and releases the queue
+    /// gauge accounting (teardown safety on node crash/restart).
+    ~CommunicationLayer() override;
+
     /// Wires the consensus module (set once before operation; breaks the
     /// construction cycle between replica and layer).
     void attach_consensus(ConsensusHandle& consensus) { consensus_ = &consensus; }

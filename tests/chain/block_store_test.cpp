@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "chain/block_store.hpp"
 #include "common/rng.hpp"
@@ -190,6 +191,110 @@ TEST_F(PersistentStoreTest, AppendAfterReloadContinuesChain) {
     extend(restored, 2);
     EXPECT_EQ(restored.head_height(), 5u);
     EXPECT_TRUE(restored.validate(0, 5));
+}
+
+TEST_F(PersistentStoreTest, LoadTruncatesTornFinalBlock) {
+    std::filesystem::path last;
+    {
+        BlockStore store(nullptr, dir_);
+        extend(store, 5);
+    }
+    // Tear the newest block file in half (power loss mid-append on a
+    // filesystem without atomic rename would look like this).
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+        if (e.path().filename().string().rfind("block_", 0) == 0 &&
+            (last.empty() || e.path().filename() > last.filename())) {
+            last = e.path();
+        }
+    }
+    ASSERT_FALSE(last.empty());
+    std::filesystem::resize_file(last, std::filesystem::file_size(last) / 2);
+
+    RecoveryReport report;
+    BlockStore restored = BlockStore::load(dir_, nullptr, &report);
+    EXPECT_EQ(restored.head_height(), 4u);
+    EXPECT_TRUE(restored.validate(0, 4));
+    EXPECT_FALSE(report.clean());
+    EXPECT_FALSE(report.unrepairable);
+    EXPECT_EQ(report.blocks_discarded, 1u);
+    EXPECT_EQ(report.recovered_head, 4u);
+    ASSERT_EQ(report.discarded_files.size(), 1u);
+    EXPECT_EQ(report.discarded_files[0], last.string());
+    // The corrupt file stays on disk for offline repair/forensics.
+    EXPECT_TRUE(std::filesystem::exists(last));
+
+    // Appending continues from the recovered head.
+    extend(restored, 1);
+    EXPECT_EQ(restored.head_height(), 5u);
+}
+
+TEST_F(PersistentStoreTest, LoadDiscardsBitFlippedBlockAndSuffix) {
+    {
+        BlockStore store(nullptr, dir_);
+        extend(store, 6);
+    }
+    // Flip one bit in the middle of block 4's body: the checksum trailer
+    // catches it, and blocks 5..6 no longer link to a trusted parent.
+    const std::filesystem::path victim = dir_ / "block_000000000004.bin";
+    ASSERT_TRUE(std::filesystem::exists(victim));
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    char byte;
+    f.seekg(10);
+    f.get(byte);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(10);
+    f.put(byte);
+    f.close();
+
+    RecoveryReport report;
+    BlockStore restored = BlockStore::load(dir_, nullptr, &report);
+    EXPECT_EQ(restored.head_height(), 3u);
+    EXPECT_TRUE(restored.validate(0, 3));
+    EXPECT_EQ(report.blocks_discarded, 3u);  // 4 (corrupt) + 5, 6 (unlinked)
+    EXPECT_EQ(report.recovered_head, 3u);
+    EXPECT_FALSE(report.unrepairable);
+}
+
+TEST_F(PersistentStoreTest, LoadIgnoresLeftoverTmpFile) {
+    {
+        BlockStore store(nullptr, dir_);
+        extend(store, 3);
+    }
+    // A crash between tmp-write and rename leaves a .tmp behind; load
+    // must never read it as a valid block.
+    std::ofstream(dir_ / "block_000000000004.bin.tmp", std::ios::binary) << "partial";
+
+    RecoveryReport report;
+    BlockStore restored = BlockStore::load(dir_, nullptr, &report);
+    EXPECT_EQ(restored.head_height(), 3u);
+    EXPECT_EQ(report.blocks_discarded, 0u);
+    ASSERT_EQ(report.discarded_files.size(), 1u);
+    EXPECT_NE(report.discarded_files[0].find(".tmp"), std::string::npos);
+}
+
+TEST_F(PersistentStoreTest, LoadReportsUnrepairableBaseCorruption) {
+    {
+        BlockStore store(nullptr, dir_);
+        extend(store, 2);
+    }
+    // Corrupt every block file: nothing trustworthy remains.
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+        if (e.path().filename().string().rfind("block_", 0) != 0) continue;
+        std::ofstream(e.path(), std::ios::binary | std::ios::trunc) << "garbage";
+    }
+    RecoveryReport report;
+    BlockStore restored = BlockStore::load(dir_, nullptr, &report);
+    EXPECT_TRUE(report.unrepairable);
+    EXPECT_FALSE(report.clean());
+    // The in-memory store falls back to genesis but must not clobber the
+    // evidence on disk.
+    EXPECT_EQ(restored.head_height(), 0u);
+    std::size_t block_files = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+        if (e.path().filename().string().rfind("block_", 0) == 0) ++block_files;
+    }
+    EXPECT_EQ(block_files, 3u);  // 0, 1, 2 all untouched
 }
 
 }  // namespace

@@ -190,8 +190,9 @@ TEST_F(DcFixture, InvalidProofIgnored) {
 TEST_F(DcFixture, TimeoutRetriesWithDifferentFullReplica) {
     dc->start_export();
     const NodeId first = chosen_full();
-    // Nobody answers. The timeout must restart with another chosen one.
-    sim.run_until(seconds(6));
+    // Nobody answers. The timeout must restart with another chosen one
+    // (after the retry backoff: timeout at 5 s + 2 s backoff = 7 s).
+    sim.run_until(seconds(8));
     EXPECT_GE(dc->stats().retries, 1u);
     const auto reads = transport.replica_msgs<ReadRequest>();
     ASSERT_GE(reads.size(), 8u);  // two broadcast rounds
@@ -245,8 +246,9 @@ TEST_F(DcFixture, CorruptBlocksFromChosenReplicaCauseRetry) {
     dc->on_message(ExportMessage{reply_from((full + 1) % 4, 8, false)});
     dc->on_message(ExportMessage{reply_from((full + 2) % 4, 8, false)});
 
-    // The export restarted excluding the liar.
+    // The export restarts excluding the liar, once the backoff elapses.
     EXPECT_GE(dc->stats().retries, 1u);
+    sim.run_until(seconds(3));
     EXPECT_NE(chosen_full(), full);
 }
 

@@ -56,7 +56,11 @@ TEST(HealthMonitor, StalledViewIgnoresDeadNodes) {
     s.alive = false;  // crashed: counters freeze, soft timeouts never reset
     s.soft_timeouts = 99;
     for (int i = 2; i <= 6; ++i) m.sample(TimePoint(i * 1'000'000), {s});
-    EXPECT_FALSE(m.alarmed());
+    // The outage itself is flagged (once), but the frozen counters must
+    // not trip any progress rule.
+    ASSERT_EQ(m.alarms().size(), 1u);
+    EXPECT_EQ(m.alarms()[0].kind, AlarmKind::kNodeDown);
+    EXPECT_EQ(m.alarms()[0].first_seen, TimePoint(2'000'000));
 }
 
 TEST(HealthMonitor, CheckpointLagFires) {
@@ -126,6 +130,110 @@ TEST(HealthMonitor, DivergenceFiresForTrailingNode) {
     ASSERT_EQ(m.alarms().size(), 1u);
     EXPECT_EQ(m.alarms()[0].kind, AlarmKind::kDivergence);
     EXPECT_EQ(m.alarms()[0].node, 1u);
+}
+
+TEST(HealthMonitor, NodeDownClearsAfterRejoinCatchUp) {
+    MonitorConfig cfg;
+    cfg.rejoin_lag_blocks = 2;
+    cfg.checkpoint_lag_blocks = 1u << 20;  // isolate the recovery rules
+    HealthMonitor m(cfg);
+
+    NodeSample healthy = base_sample(0);
+    NodeSample victim = base_sample(1);
+    healthy.decided = victim.decided = 100;
+    healthy.head_height = victim.head_height = 10;
+    m.sample(TimePoint(1'000'000), {healthy, victim});
+    EXPECT_FALSE(m.alarmed());
+
+    victim.alive = false;
+    healthy.decided = 120;
+    healthy.head_height = 12;
+    m.sample(TimePoint(2'000'000), {healthy, victim});
+    ASSERT_EQ(m.alarms().size(), 1u);
+    EXPECT_EQ(m.alarms()[0].kind, AlarmKind::kNodeDown);
+    EXPECT_EQ(m.alarms()[0].node, 1u);
+    EXPECT_FALSE(m.alarms()[0].cleared);
+    EXPECT_TRUE(m.any_active());
+
+    // Restarted, still behind: the alarm stays active.
+    victim.alive = true;
+    victim.decided = 0;  // fresh counters after restart
+    victim.head_height = 10;
+    healthy.decided = 140;
+    healthy.head_height = 14;
+    m.sample(TimePoint(3'000'000), {healthy, victim});
+    EXPECT_TRUE(m.any_active());
+
+    // Caught up within the rejoin lag: node-down clears in place.
+    victim.decided = 50;
+    victim.head_height = 15;
+    healthy.decided = 160;
+    healthy.head_height = 16;
+    m.sample(TimePoint(4'000'000), {healthy, victim});
+    ASSERT_EQ(m.alarms().size(), 1u);
+    EXPECT_TRUE(m.alarms()[0].cleared);
+    EXPECT_EQ(m.alarms()[0].cleared_at, TimePoint(4'000'000));
+    EXPECT_FALSE(m.any_active());
+    EXPECT_TRUE(m.alarmed());  // the history entry remains
+}
+
+TEST(HealthMonitor, RejoinStalledFiresWhenCatchUpNeverCompletes) {
+    MonitorConfig cfg;
+    cfg.rejoin_lag_blocks = 1;
+    cfg.rejoin_stalled_samples = 3;
+    cfg.divergence_entries = 1u << 20;  // isolate the rejoin rule
+    HealthMonitor m(cfg);
+
+    NodeSample healthy = base_sample(0);
+    NodeSample victim = base_sample(1);
+    healthy.decided = victim.decided = 100;
+    healthy.head_height = victim.head_height = 10;
+    m.sample(TimePoint(1'000'000), {healthy, victim});
+
+    victim.alive = false;
+    m.sample(TimePoint(2'000'000), {healthy, victim});
+    victim.alive = true;
+    victim.decided = 0;
+    for (int i = 3; i <= 7; ++i) {
+        healthy.decided += 20;
+        healthy.head_height += 2;  // the cluster keeps moving...
+        victim.head_height = 10;   // ...the rejoiner does not
+        m.sample(TimePoint(i * 1'000'000), {healthy, victim});
+    }
+    bool stalled = false;
+    for (const Alarm& a : m.alarms()) {
+        if (a.kind == AlarmKind::kRejoinStalled && a.node == 1) stalled = true;
+    }
+    EXPECT_TRUE(stalled);
+    EXPECT_TRUE(m.any_active());
+}
+
+TEST(HealthMonitor, DivergenceUsesPreCrashOffsetForRestartedNode) {
+    MonitorConfig cfg;
+    cfg.divergence_entries = 50;
+    cfg.rejoin_lag_blocks = 100;  // rejoin clears immediately; isolate divergence
+    HealthMonitor m(cfg);
+
+    NodeSample leader = base_sample(0);
+    NodeSample restarted = base_sample(1);
+    leader.decided = restarted.decided = 200;
+    m.sample(TimePoint(1'000'000), {leader, restarted});
+
+    restarted.alive = false;
+    m.sample(TimePoint(2'000'000), {leader, restarted});
+
+    // After the restart the node's counter resets to ~0; without the
+    // offset every restarted replica would immediately read as divergent.
+    restarted.alive = true;
+    restarted.decided = 5;
+    leader.decided = 210;
+    m.sample(TimePoint(3'000'000), {leader, restarted});
+    restarted.decided = 20;
+    leader.decided = 225;
+    m.sample(TimePoint(4'000'000), {leader, restarted});
+    for (const Alarm& a : m.alarms()) {
+        EXPECT_NE(a.kind, AlarmKind::kDivergence);
+    }
 }
 
 TEST(HealthMonitor, AlarmsLatchPerNodeAndKind) {

@@ -7,6 +7,15 @@
 //   zc_inspect <store-dir> --health     offline chain health: recording
 //                                       cadence, gaps/stalls, body and
 //                                       export coverage (alarm-typed)
+//   zc_inspect <store-dir> --verify     strict check: exit 0 only if the
+//                                       store loads without discarding
+//                                       anything and the chain validates
+//   zc_inspect <store-dir> --repair     truncate a torn/corrupt tail:
+//                                       delete the block files load
+//                                       refused to trust, print each one
+//
+// Exit codes: 0 ok, 1 integrity/recovery findings, 2 usage,
+// 3 unrepairable store (no valid prefix behind the corruption).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -196,17 +205,33 @@ void health_summary(const chain::BlockStore& store) {
     }
 }
 
+void print_recovery(const chain::RecoveryReport& report) {
+    std::printf("recovery: %llu blocks restored, %llu discarded%s\n",
+                static_cast<unsigned long long>(report.blocks_loaded),
+                static_cast<unsigned long long>(report.blocks_discarded),
+                report.unrepairable ? " — UNREPAIRABLE (no valid prefix)" : "");
+    for (const auto& note : report.notes) std::printf("  note: %s\n", note.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <store-dir> [--dump HEIGHT | --events | --health]\n",
+        std::fprintf(stderr,
+                     "usage: %s <store-dir> [--dump HEIGHT | --events | --health | --verify |"
+                     " --repair]\n",
                      argv[0]);
         return 2;
     }
 
-    chain::BlockStore store = chain::BlockStore::load(argv[1]);
-    std::printf("store: %s\n", argv[1]);
+    const std::string dir = argv[1];
+    const std::string cmd = argc >= 3 ? argv[2] : "";
+    const bool verify = cmd == "--verify";
+    const bool repair = cmd == "--repair";
+
+    chain::RecoveryReport report;
+    chain::BlockStore store = chain::BlockStore::load(dir, nullptr, &report);
+    std::printf("store: %s\n", dir.c_str());
     std::printf("blocks %llu..%llu (%zu retained, %zu KiB)\n",
                 static_cast<unsigned long long>(store.base_height()),
                 static_cast<unsigned long long>(store.head_height()), store.size(),
@@ -215,12 +240,42 @@ int main(int argc, char** argv) {
     const bool valid = store.validate(store.base_height(), store.head_height());
     std::printf("integrity: %s\n", valid ? "VERIFIED" : "BROKEN (tampering or corruption)");
     std::printf("head hash: %s\n", to_hex(crypto::view(store.head_hash())).c_str());
+    if (!report.clean()) print_recovery(report);
 
     if (store.anchor()) {
         const auto deletes = exporter::decode_delete_evidence(store.anchor()->evidence);
         std::printf("prune anchor: base %llu, %s data-center delete signatures\n",
                     static_cast<unsigned long long>(store.anchor()->base_height),
                     deletes ? std::to_string(deletes->size()).c_str() : "undecodable");
+    }
+
+    if (repair) {
+        // Offline torn-tail truncation: the load already decided which
+        // files cannot be part of a valid prefix; removing them leaves a
+        // store that reloads cleanly. The restored prefix stays untouched.
+        if (report.unrepairable) {
+            std::printf("repair: refusing — no valid prefix to keep (preserve the directory "
+                        "for forensics)\n");
+            return 3;
+        }
+        if (report.discarded_files.empty()) {
+            std::printf("repair: nothing to do, store is clean\n");
+            return 0;
+        }
+        for (const auto& file : report.discarded_files) {
+            std::error_code ec;
+            std::filesystem::remove(std::filesystem::path(file), ec);
+            std::printf("repair: removed %s%s\n", file.c_str(),
+                        ec ? " (FAILED)" : "");
+            if (ec) return 1;
+        }
+        std::printf("repair: store truncated to block %llu\n",
+                    static_cast<unsigned long long>(report.recovered_head));
+        return 0;
+    }
+    if (verify) {
+        if (report.unrepairable) return 3;
+        return (report.clean() && valid) ? 0 : 1;
     }
 
     if (argc >= 4 && std::strcmp(argv[2], "--dump") == 0) {

@@ -4,7 +4,9 @@
 //   zugchain_sim [--mode zugchain|baseline] [--n 4] [--f 1]
 //                [--cycle-ms 64] [--payload 1024] [--block-size 10]
 //                [--duration-s 30] [--seed 1] [--dcs 0] [--export-at-s N]
-//                [--crash-primary-at-s N] [--fabricator NODE]
+//                [--export-timeout-s N]
+//                [--crash-primary-at-s N] [--crash T:NODE[:RESTART_AFTER]]
+//                [--flap T:DUR:lte|nodeID] [--fabricator NODE]
 //                [--store-dir DIR] [--crypto fast|ed25519]
 //                [--trace FILE] [--metrics FILE] [--json]
 //                [--health FILE] [--timeseries FILE] [--fail-on-alarm]
@@ -15,14 +17,20 @@
 //   zugchain_sim --dcs 2 --export-at-s 20 --duration-s 40
 //   zugchain_sim --trace trace.json   # open in Perfetto / chrome://tracing
 //   zugchain_sim --crash-primary-at-s 10 --health health.json --fail-on-alarm
+//   zugchain_sim --crash 6:2:4 --duration-s 30      # crash node 2 at 6 s,
+//                                                   # restart it 4 s later
+//   zugchain_sim --dcs 1 --export-at-s 12 --export-timeout-s 5 \
+//                --flap 10:15:lte --duration-s 60   # export across an outage
 //
 // Exit codes: 0 ok, 1 chains inconsistent, 2 usage, 3 health alarm
-// (with --fail-on-alarm).
+// (with --fail-on-alarm; an alarm that fired and cleared — e.g. a crash
+// followed by a successful rejoin — does not fail the run).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "health/flight_recorder.hpp"
 #include "health/monitor.hpp"
@@ -50,7 +58,9 @@ struct Args {
         std::fprintf(stderr,
                      "usage: %s [--mode zugchain|baseline] [--n N] [--f F] [--cycle-ms MS]\n"
                      "          [--payload BYTES] [--block-size N] [--duration-s S] [--seed S]\n"
-                     "          [--dcs N] [--export-at-s S] [--crash-primary-at-s S]\n"
+                     "          [--dcs N] [--export-at-s S] [--export-timeout-s S]\n"
+                     "          [--crash-primary-at-s S]\n"
+                     "          [--crash T:NODE[:RESTART_AFTER]] [--flap T:DUR:lte|nodeID]\n"
                      "          [--fabricator NODE] [--store-dir DIR] [--crypto fast|ed25519]\n"
                      "          [--trace FILE] [--metrics FILE] [--json]\n"
                      "          [--health FILE] [--timeseries FILE] [--fail-on-alarm]\n",
@@ -66,6 +76,21 @@ struct Args {
                 usage(argv[0]);
             }
             return argv[++i];
+        };
+        // Splits "a:b:c" on ':' (2 or 3 fields).
+        auto split_spec = [&](const std::string& spec) {
+            std::vector<std::string> parts;
+            std::size_t start = 0;
+            while (true) {
+                const std::size_t colon = spec.find(':', start);
+                if (colon == std::string::npos) {
+                    parts.push_back(spec.substr(start));
+                    break;
+                }
+                parts.push_back(spec.substr(start, colon - start));
+                start = colon + 1;
+            }
+            return parts;
         };
         for (int i = 1; i < argc; ++i) {
             const std::string flag = argv[i];
@@ -97,8 +122,44 @@ struct Args {
                 args.cfg.dc_count = static_cast<std::uint32_t>(std::atoi(need_value(i)));
             } else if (flag == "--export-at-s") {
                 args.export_at_s = std::atof(need_value(i));
+            } else if (flag == "--export-timeout-s") {
+                args.cfg.export_timeout = millis_f(std::atof(need_value(i)) * 1000.0);
             } else if (flag == "--crash-primary-at-s") {
                 args.crash_primary_at_s = std::atof(need_value(i));
+            } else if (flag == "--crash") {
+                // T:NODE[:RESTART_AFTER], seconds (fractions allowed).
+                const auto parts = split_spec(need_value(i));
+                if (parts.size() < 2 || parts.size() > 3) {
+                    std::fprintf(stderr, "%s: --crash wants T:NODE[:RESTART_AFTER]\n", argv[0]);
+                    usage(argv[0]);
+                }
+                runtime::ScenarioConfig::CrashEntry entry;
+                entry.at = millis_f(std::atof(parts[0].c_str()) * 1000.0);
+                entry.node = static_cast<NodeId>(std::atoi(parts[1].c_str()));
+                if (parts.size() == 3) {
+                    entry.restart_after = millis_f(std::atof(parts[2].c_str()) * 1000.0);
+                }
+                args.cfg.crash_schedule.push_back(entry);
+            } else if (flag == "--flap") {
+                // T:DUR:LINK with LINK = "lte" or "node<id>", seconds.
+                const auto parts = split_spec(need_value(i));
+                if (parts.size() != 3) {
+                    std::fprintf(stderr, "%s: --flap wants T:DUR:lte|nodeID\n", argv[0]);
+                    usage(argv[0]);
+                }
+                runtime::ScenarioConfig::LinkFlap flap;
+                flap.at = millis_f(std::atof(parts[0].c_str()) * 1000.0);
+                flap.duration = millis_f(std::atof(parts[1].c_str()) * 1000.0);
+                if (parts[2] == "lte") {
+                    flap.link = runtime::ScenarioConfig::LinkFlap::Link::kLte;
+                } else if (parts[2].rfind("node", 0) == 0 && parts[2].size() > 4) {
+                    flap.link = runtime::ScenarioConfig::LinkFlap::Link::kNode;
+                    flap.node = static_cast<NodeId>(std::atoi(parts[2].c_str() + 4));
+                } else {
+                    std::fprintf(stderr, "%s: --flap link must be lte or node<id>\n", argv[0]);
+                    usage(argv[0]);
+                }
+                args.cfg.link_flaps.push_back(flap);
             } else if (flag == "--fabricator") {
                 args.fabricator = std::atoi(need_value(i));
             } else if (flag == "--store-dir") {
@@ -294,10 +355,12 @@ int main(int argc, char** argv) {
         write_text_file(args.metrics_file, registry.json());
     }
 
-    // Exit codes: inconsistency dominates; an alarm turns an otherwise
-    // clean run into exit 3 when --fail-on-alarm is set.
+    // Exit codes: inconsistency dominates; an uncleared alarm turns an
+    // otherwise clean run into exit 3 when --fail-on-alarm is set. Alarms
+    // that latched and then cleared (crash followed by a successful
+    // rejoin) count as recovered, not failed.
     int rc = consistent ? 0 : 1;
-    if (rc == 0 && args.fail_on_alarm && monitor.alarmed()) rc = 3;
+    if (rc == 0 && args.fail_on_alarm && monitor.any_active()) rc = 3;
 
     if (args.json) {
         print_json_report(args, r, consistent);
@@ -329,6 +392,12 @@ int main(int argc, char** argv) {
 
     if (args.cfg.dc_count > 0) {
         std::printf("\n-- export --\n");
+        const auto& dc = scenario.data_center(0).stats();
+        std::printf("exports started %llu, completed %llu, failed %llu, retry rounds %llu\n",
+                    static_cast<unsigned long long>(dc.exports_started),
+                    static_cast<unsigned long long>(dc.exports_completed),
+                    static_cast<unsigned long long>(dc.exports_failed),
+                    static_cast<unsigned long long>(dc.retries));
         for (const auto& rec : scenario.data_center(0).history()) {
             std::printf("exported blocks %llu..%llu: read %.2f s, verify %.3f s, delete %.2f s "
                         "(%s)\n",
@@ -357,9 +426,17 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(monitor.samples_taken()));
         std::printf("alarms                  : %zu\n", monitor.alarms().size());
         for (const auto& alarm : monitor.alarms()) {
-            std::printf("  [%.3f s] node %d %s: %s\n", to_seconds(alarm.first_seen),
-                        alarm.node == kNoNode ? -1 : static_cast<int>(alarm.node),
-                        health::alarm_kind_name(alarm.kind), alarm.detail.c_str());
+            if (alarm.cleared) {
+                std::printf("  [%.3f s] node %d %s: %s (cleared at %.3f s)\n",
+                            to_seconds(alarm.first_seen),
+                            alarm.node == kNoNode ? -1 : static_cast<int>(alarm.node),
+                            health::alarm_kind_name(alarm.kind), alarm.detail.c_str(),
+                            to_seconds(alarm.cleared_at));
+            } else {
+                std::printf("  [%.3f s] node %d %s: %s\n", to_seconds(alarm.first_seen),
+                            alarm.node == kNoNode ? -1 : static_cast<int>(alarm.node),
+                            health::alarm_kind_name(alarm.kind), alarm.detail.c_str());
+            }
         }
         std::printf("flight recorder         : %zu events retained, %llu dropped\n",
                     recorder.size(), static_cast<unsigned long long>(recorder.dropped()));
