@@ -9,6 +9,8 @@
 // total.
 //
 // Emits BENCH_table2.json (machine-readable rows) for CI diffing.
+#include <cstring>
+
 #include "bench_util.hpp"
 
 using namespace zc;
@@ -16,7 +18,25 @@ using namespace zc::bench;
 
 int main(int argc, char** argv) {
     // `--quick` trims the row set (CI-friendly); default reproduces all.
-    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    // Batching flags prove export/proof semantics are unchanged when one
+    // block's sequence numbers hold multi-request batches.
+    bool quick = false;
+    std::uint32_t batch_size = 1;
+    std::int64_t batch_linger_us = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
+            batch_size = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--batch-linger-us") == 0 && i + 1 < argc) {
+            batch_linger_us = std::atoll(argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--batch-size N] [--batch-linger-us US]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (batch_size > 1 && batch_linger_us == 0) batch_linger_us = 2000;
 
     print_header("Table II: export latency (read / delete / verify) over LTE");
     std::printf("%8s | %9s %9s %9s | %9s | %9s %9s\n", "#blocks", "read s", "delete s",
@@ -36,6 +56,8 @@ int main(int argc, char** argv) {
         cfg.delete_quorum = 2;
         cfg.mem_sample_period = seconds(10);
         cfg.export_timeout = seconds(600);
+        cfg.batch_max_requests = batch_size;
+        cfg.batch_linger = microseconds(batch_linger_us);
         // Enough operation to produce the requested number of blocks.
         cfg.warmup = seconds(2);
         cfg.duration = cfg.bus_cycle * (blocks + 4) * static_cast<std::int64_t>(cfg.block_size) /

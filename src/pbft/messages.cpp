@@ -1,5 +1,7 @@
 #include "pbft/messages.hpp"
 
+#include <type_traits>
+
 #include "crypto/sha256.hpp"
 
 namespace zc::pbft {
@@ -8,6 +10,12 @@ namespace {
 
 constexpr std::size_t kMaxProofMessages = 256;
 constexpr std::size_t kMaxPrepared = 4096;
+constexpr std::size_t kMaxBatchRequests = 1024;
+
+/// Transport tag for a multi-request preprepare; tag 2 keeps the legacy
+/// single-request layout so batch-of-one traffic is byte-identical to the
+/// pre-batching wire format.
+constexpr std::uint8_t kBatchedPrePrepareTag = 8;
 
 void encode_sig(codec::Writer& w, const crypto::Signature& sig) { w.raw(sig.v); }
 
@@ -54,8 +62,23 @@ crypto::Digest Request::payload_digest() const { return crypto::sha256(payload);
 
 // ---- PrePrepare -------------------------------------------------------
 
+crypto::Digest PrePrepare::batch_digest(const std::vector<Request>& requests) {
+    if (requests.size() == 1) return requests.front().digest();
+    codec::Writer w(8 + 32 * requests.size());
+    w.str("ppb");
+    w.varint(requests.size());
+    for (const Request& req : requests) w.raw(req.digest());
+    return crypto::sha256(w.take());
+}
+
+std::size_t PrePrepare::requests_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Request& req : requests) total += req.size_bytes();
+    return total;
+}
+
 Bytes PrePrepare::signing_bytes() const {
-    codec::Writer w(request.payload.size() + 96);
+    codec::Writer w(96);
     w.str("pp");
     w.u64(view);
     w.u64(seq);
@@ -65,20 +88,62 @@ Bytes PrePrepare::signing_bytes() const {
 }
 
 void PrePrepare::encode(codec::Writer& w) const {
+    if (requests.size() == 1) {
+        w.u8(1);
+        encode_legacy(w);
+    } else {
+        w.u8(2);
+        encode_batched(w);
+    }
+}
+
+PrePrepare PrePrepare::decode(codec::Reader& r) {
+    switch (r.u8()) {
+        case 1: return decode_legacy(r);
+        case 2: return decode_batched(r);
+        default: throw codec::DecodeError("unknown preprepare format");
+    }
+}
+
+void PrePrepare::encode_legacy(codec::Writer& w) const {
     w.u64(view);
     w.u64(seq);
     w.raw(req_digest);
-    request.encode(w);
+    requests.front().encode(w);
     w.u32(primary);
     encode_sig(w, sig);
 }
 
-PrePrepare PrePrepare::decode(codec::Reader& r) {
+PrePrepare PrePrepare::decode_legacy(codec::Reader& r) {
     PrePrepare pp;
     pp.view = r.u64();
     pp.seq = r.u64();
     pp.req_digest = decode_digest(r);
-    pp.request = Request::decode(r);
+    pp.requests.push_back(Request::decode(r));
+    pp.primary = r.u32();
+    pp.sig = decode_sig(r);
+    return pp;
+}
+
+void PrePrepare::encode_batched(codec::Writer& w) const {
+    w.u64(view);
+    w.u64(seq);
+    w.raw(req_digest);
+    w.varint(requests.size());
+    for (const Request& req : requests) req.encode(w);
+    w.u32(primary);
+    encode_sig(w, sig);
+}
+
+PrePrepare PrePrepare::decode_batched(codec::Reader& r) {
+    PrePrepare pp;
+    pp.view = r.u64();
+    pp.seq = r.u64();
+    pp.req_digest = decode_digest(r);
+    const std::uint64_t count = r.varint();
+    if (count == 0 || count > kMaxBatchRequests) throw codec::DecodeError("bad preprepare batch");
+    pp.requests.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) pp.requests.push_back(Request::decode(r));
     pp.primary = r.u32();
     pp.sig = decode_sig(r);
     return pp;
@@ -308,8 +373,19 @@ Bytes encode_message(const Message& m) {
     codec::Writer w(128);
     std::visit(
         [&w](const auto& msg) {
-            w.u8(tag_of<std::decay_t<decltype(msg)>>());
-            msg.encode(w);
+            using T = std::decay_t<decltype(msg)>;
+            if constexpr (std::is_same_v<T, PrePrepare>) {
+                if (msg.requests.size() == 1) {
+                    w.u8(tag_of<PrePrepare>());
+                    msg.encode_legacy(w);
+                } else {
+                    w.u8(kBatchedPrePrepareTag);
+                    msg.encode_batched(w);
+                }
+            } else {
+                w.u8(tag_of<T>());
+                msg.encode(w);
+            }
         },
         m);
     return w.take();
@@ -322,12 +398,13 @@ std::optional<Message> decode_message(BytesView data) noexcept {
         Message m;
         switch (tag) {
             case 1: m = Request::decode(r); break;
-            case 2: m = PrePrepare::decode(r); break;
+            case 2: m = PrePrepare::decode_legacy(r); break;
             case 3: m = Prepare::decode(r); break;
             case 4: m = Commit::decode(r); break;
             case 5: m = Checkpoint::decode(r); break;
             case 6: m = ViewChange::decode(r); break;
             case 7: m = NewView::decode(r); break;
+            case kBatchedPrePrepareTag: m = PrePrepare::decode_batched(r); break;
             default: return std::nullopt;
         }
         r.expect_done();

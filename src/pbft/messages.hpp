@@ -55,14 +55,32 @@ struct Request {
 struct PrePrepare {
     View view = 0;
     SeqNo seq = 0;
-    crypto::Digest req_digest{};
-    Request request;  ///< piggybacked full request
+    crypto::Digest req_digest{};     ///< batch digest binding `requests`
+    std::vector<Request> requests;   ///< ordered batch, piggybacked in full
     NodeId primary = kNoNode;
     crypto::Signature sig{};
 
+    /// Digest the primary commits to for an ordered batch. A batch of one
+    /// is the request's own digest — identical to the pre-batching format,
+    /// so single-request instances stay wire- and proof-compatible. Larger
+    /// batches hash the concatenated inner digests under a domain prefix.
+    static crypto::Digest batch_digest(const std::vector<Request>& requests);
+
+    std::size_t requests_bytes() const noexcept;
+
     Bytes signing_bytes() const;
+
+    /// Container encoding (PreparedProof, NewView reproposals): a leading
+    /// format byte selects the legacy single-request layout (1) or the
+    /// batched layout (2). Transport framing instead versions via the
+    /// message tag (2 legacy / 8 batched) so a single-request preprepare
+    /// on the wire is byte-identical to the pre-batching format.
     void encode(codec::Writer& w) const;
     static PrePrepare decode(codec::Reader& r);
+    void encode_legacy(codec::Writer& w) const;  ///< requires requests.size() == 1
+    static PrePrepare decode_legacy(codec::Reader& r);
+    void encode_batched(codec::Writer& w) const;
+    static PrePrepare decode_batched(codec::Reader& r);
     friend bool operator==(const PrePrepare&, const PrePrepare&) = default;
 };
 

@@ -20,8 +20,7 @@ Replica::Replica(ReplicaConfig config, sim::Simulation& sim, crypto::CryptoConte
       last_stable_(config.start_seq) {}
 
 Replica::~Replica() {
-    sim_.cancel(vc_timer_);
-    for (auto& [digest, timer] : request_timers_) sim_.cancel(timer);
+    cancel_timers();
     if (log_gauge_ != nullptr) {
         for (const auto& [seq, s] : log_)
             log_gauge_->add(-static_cast<std::int64_t>(s.bytes));
@@ -40,13 +39,44 @@ bool Replica::propose(const Request& request) {
     if (config_.request_timeout > Duration::zero()) {
         const crypto::Digest digest = request.digest();
         if (!request_timers_.contains(digest) && !known_requests_.contains(digest)) {
-            request_timers_[digest] = sim_.schedule(config_.request_timeout, [this, digest] {
-                request_timers_.erase(digest);
-                if (!knows_request(digest)) suspect();
-            });
+            arm_request_timer(request);
         }
     }
     return true;
+}
+
+void Replica::cancel_timers() {
+    if (vc_timer_ != sim::kInvalidEvent) {
+        sim_.cancel(vc_timer_);
+        vc_timer_ = sim::kInvalidEvent;
+    }
+    if (batch_timer_ != sim::kInvalidEvent) {
+        sim_.cancel(batch_timer_);
+        batch_timer_ = sim::kInvalidEvent;
+    }
+    for (auto& [digest, fwd] : request_timers_) sim_.cancel(fwd.timer);
+    request_timers_.clear();
+}
+
+sim::EventId Replica::schedule_request_timer(const crypto::Digest& digest) {
+    const View armed = view_;
+    return sim_.schedule(config_.request_timeout, [this, digest, armed] {
+        request_timers_.erase(digest);
+        // A timer armed under an earlier view must not indict the new
+        // view's primary: the new-view reroute re-arms live entries, so a
+        // firing with a stale view is left to its re-armed successor.
+        if (view_ != armed) return;
+        if (!knows_request(digest)) suspect();
+    });
+}
+
+void Replica::arm_request_timer(const Request& request) {
+    const crypto::Digest digest = request.digest();
+    ForwardedRequest fwd;
+    fwd.armed_view = view_;
+    fwd.request = request;
+    fwd.timer = schedule_request_timer(digest);
+    request_timers_[digest] = std::move(fwd);
 }
 
 void Replica::suspect() {
@@ -76,8 +106,9 @@ std::vector<Request> Replica::inflight_requests() const {
     std::vector<Request> out;
     for (const auto& [seq, s] : log_) {
         if (seq <= last_exec_ || s.executed || !s.preprepare) continue;
-        if (s.preprepare->request.is_null()) continue;
-        out.push_back(s.preprepare->request);
+        for (const Request& r : s.preprepare->requests) {
+            if (!r.is_null()) out.push_back(r);
+        }
     }
     return out;
 }
@@ -101,28 +132,80 @@ bool Replica::assign_and_propose(const Request& request) {
         stats_.duplicate_proposals_blocked += 1;
         return false;
     }
+    if (std::find(open_batch_digests_.begin(), open_batch_digests_.end(), digest) !=
+        open_batch_digests_.end()) {
+        stats_.duplicate_proposals_blocked += 1;
+        return false;
+    }
+
+    open_batch_.push_back(request);
+    open_batch_digests_.push_back(digest);
+    open_batch_bytes_ += request.size_bytes();
+
+    // Flush on a full batch, or immediately when lingering is off (the
+    // single-request default takes this path, so no linger events are
+    // ever scheduled there). Otherwise hold the batch open until the
+    // linger timer armed by its first request expires.
+    if (open_batch_.size() >= config_.max_batch_requests ||
+        open_batch_bytes_ >= config_.max_batch_bytes ||
+        config_.batch_linger == Duration::zero()) {
+        flush_batch();
+    } else if (batch_timer_ == sim::kInvalidEvent) {
+        batch_timer_ = sim_.schedule(config_.batch_linger, [this] {
+            batch_timer_ = sim::kInvalidEvent;
+            flush_batch();
+        });
+    }
+    return true;
+}
+
+void Replica::flush_batch() {
+    if (batch_timer_ != sim::kInvalidEvent) {
+        sim_.cancel(batch_timer_);
+        batch_timer_ = sim::kInvalidEvent;
+    }
+    if (open_batch_.empty()) return;
     if (!in_watermarks(next_seq_)) {
-        pending_.push_back(request);
-        return true;  // queued until the window advances
+        // Queued until the window advances (checkpoint progress) or a
+        // view change reroutes the queue.
+        for (Request& r : open_batch_) queue_pending(std::move(r));
+        open_batch_.clear();
+        open_batch_digests_.clear();
+        open_batch_bytes_ = 0;
+        return;
     }
 
     const SeqNo seq = next_seq_++;
     PrePrepare pp;
     pp.view = view_;
     pp.seq = seq;
-    pp.req_digest = digest;
-    pp.request = request;
+    pp.requests = std::move(open_batch_);
+    pp.req_digest = PrePrepare::batch_digest(pp.requests);
     pp.primary = config_.id;
     pp.sig = crypto_.sign(pp.signing_bytes());
+    open_batch_.clear();
+    open_batch_digests_.clear();
+    open_batch_bytes_ = 0;
 
     Slot& s = slot(seq);
-    s.preprepare = pp;
-    account_slot_bytes(s, request.size_bytes() + 96);
-    known_requests_[digest] = seq;
-
+    account_slot_bytes(s, pp.requests_bytes() + 96);
+    for (const Request& r : pp.requests) known_requests_[r.digest()] = seq;
     stats_.preprepares_sent += 1;
-    transport_.broadcast(Message{pp});
-    return true;
+    stats_.batches_proposed += 1;
+    stats_.batched_requests += pp.requests.size();
+    if (config_.max_batch_requests > 1) {
+        trace_point(trace::Phase::kBatchProposed, seq, pp.requests.size());
+    }
+    s.preprepare = std::move(pp);
+    transport_.broadcast(Message{*s.preprepare});
+}
+
+void Replica::queue_pending(Request request) {
+    if (pending_.size() >= config_.max_pending) {
+        stats_.pending_dropped += 1;
+        return;
+    }
+    pending_.push_back(std::move(request));
 }
 
 void Replica::drain_pending() {
@@ -145,17 +228,13 @@ void Replica::handle(NodeId from, const Request& r) {
         return;
     }
 
-    // Backup: forward to the primary once; optionally time the primary.
+    // Backup: forward to the primary once per view (the new-view reroute
+    // re-forwards undelivered requests); optionally time the primary.
     const crypto::Digest digest = r.digest();
     if (known_requests_.contains(digest) || request_timers_.contains(digest)) return;
     (void)from;
     transport_.send(primary(), Message{r});
-    if (config_.request_timeout > Duration::zero()) {
-        request_timers_[digest] = sim_.schedule(config_.request_timeout, [this, digest] {
-            request_timers_.erase(digest);
-            if (!knows_request(digest)) suspect();
-        });
-    }
+    if (config_.request_timeout > Duration::zero()) arm_request_timer(r);
 }
 
 void Replica::handle(NodeId from, const PrePrepare& pp) {
@@ -166,9 +245,7 @@ void Replica::handle(NodeId from, const PrePrepare& pp) {
     }
     if (pp.seq <= last_exec_ || !in_watermarks(pp.seq)) return;
 
-    const crypto::Digest expected =
-        pp.request.is_null() ? Request::null().digest() : pp.request.digest();
-    if (pp.req_digest != expected) {
+    if (pp.requests.empty() || pp.req_digest != PrePrepare::batch_digest(pp.requests)) {
         stats_.invalid_messages += 1;
         return;
     }
@@ -176,10 +253,29 @@ void Replica::handle(NodeId from, const PrePrepare& pp) {
         stats_.invalid_messages += 1;
         return;
     }
-    if (!pp.request.is_null() &&
-        !crypto_.verify(pp.request.origin, pp.request.signing_bytes(), pp.request.sig)) {
-        stats_.invalid_messages += 1;
-        return;
+    std::vector<crypto::Digest> digests;
+    digests.reserve(pp.requests.size());
+    for (const Request& r : pp.requests) digests.push_back(r.digest());
+    for (std::size_t i = 0; i < pp.requests.size(); ++i) {
+        const Request& r = pp.requests[i];
+        if (r.is_null()) {
+            // The view-change gap filler only ever travels alone.
+            if (pp.requests.size() > 1) {
+                stats_.invalid_messages += 1;
+                return;
+            }
+            continue;
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+            if (digests[j] == digests[i]) {
+                stats_.invalid_messages += 1;
+                return;
+            }
+        }
+        if (!crypto_.verify(r.origin, r.signing_bytes(), r.sig)) {
+            stats_.invalid_messages += 1;
+            return;
+        }
     }
 
     accept_preprepare(pp);
@@ -197,11 +293,12 @@ void Replica::accept_preprepare(const PrePrepare& pp) {
         return;
     }
     s.preprepare = pp;
-    account_slot_bytes(s, pp.request.size_bytes() + 96);
-    if (!pp.request.is_null()) known_requests_[pp.req_digest] = pp.seq;
-    trace_request(trace::Phase::kPrePrepare, pp.request, pp.seq);
-
-    app_.preprepared(pp.request);
+    account_slot_bytes(s, pp.requests_bytes() + 96);
+    for (const Request& r : pp.requests) {
+        if (!r.is_null()) known_requests_[r.digest()] = pp.seq;
+        trace_request(trace::Phase::kPrePrepare, r, pp.seq);
+        app_.preprepared(r);
+    }
 
     if (primary_of(view_) != config_.id) {
         Prepare p;
@@ -246,7 +343,7 @@ void Replica::maybe_prepared(SeqNo seq) {
     if (matching < 2 * config_.f) return;
 
     s.commit_sent = true;
-    trace_request(trace::Phase::kPrepared, s.preprepare->request, seq);
+    for (const Request& r : s.preprepare->requests) trace_request(trace::Phase::kPrepared, r, seq);
     Commit c;
     c.view = s.preprepare->view;
     c.seq = seq;
@@ -301,24 +398,27 @@ void Replica::execute_ready() {
         }
         if (matching < quorum()) return;
         s.executed = true;
-        execute(it->first, s.preprepare->request);
+        execute(it->first, s.preprepare->requests);
     }
 }
 
-void Replica::execute(SeqNo seq, const Request& request) {
+void Replica::execute(SeqNo seq, const std::vector<Request>& requests) {
     last_exec_ = seq;
     stats_.decided += 1;
-    trace_request(trace::Phase::kDecide, request, seq);
 
-    if (!request.is_null()) {
-        const auto timer = request_timers_.find(request.digest());
-        if (timer != request_timers_.end()) {
-            sim_.cancel(timer->second);
-            request_timers_.erase(timer);
+    for (const Request& request : requests) {
+        trace_request(trace::Phase::kDecide, request, seq);
+
+        if (!request.is_null()) {
+            const auto timer = request_timers_.find(request.digest());
+            if (timer != request_timers_.end()) {
+                sim_.cancel(timer->second.timer);
+                request_timers_.erase(timer);
+            }
         }
-    }
 
-    app_.deliver(request, seq);
+        app_.deliver(request, seq);
+    }
 
     if (seq % config_.checkpoint_interval == 0) emit_checkpoint(seq);
 }
@@ -475,9 +575,8 @@ bool Replica::validate_checkpoint_proof(const CheckpointProof& proof) {
 bool Replica::validate_prepared_proof(const PreparedProof& proof) {
     const PrePrepare& pp = proof.preprepare;
     if (pp.primary != primary_of(pp.view)) return false;
-    const crypto::Digest expected =
-        pp.request.is_null() ? Request::null().digest() : pp.request.digest();
-    if (pp.req_digest != expected) return false;
+    if (pp.requests.empty()) return false;
+    if (pp.req_digest != PrePrepare::batch_digest(pp.requests)) return false;
     if (!crypto_.verify(pp.primary, pp.signing_bytes(), pp.sig)) return false;
 
     std::set<NodeId> signers;
@@ -560,10 +659,10 @@ std::vector<PrePrepare> Replica::compute_reproposals(View v, const std::vector<V
         pp.seq = seq;
         pp.primary = primary_of(v);
         if (best != nullptr) {
-            pp.request = best->preprepare.request;
+            pp.requests = best->preprepare.requests;
             pp.req_digest = best->preprepare.req_digest;
         } else {
-            pp.request = Request::null();
+            pp.requests = {Request::null()};
             pp.req_digest = Request::null().digest();
         }
         if (sign_them) pp.sig = crypto_.sign(pp.signing_bytes());
@@ -612,7 +711,7 @@ void Replica::maybe_assemble_new_view(View target) {
     install_reproposals(nv.reproposals);
     stats_.new_views_installed += 1;
     app_.new_primary(target, config_.id);
-    drain_pending();
+    reroute_after_view_change();
 }
 
 void Replica::handle(NodeId from, const NewView& nv) {
@@ -683,6 +782,7 @@ void Replica::handle(NodeId from, const NewView& nv) {
     install_reproposals(nv.reproposals);
     stats_.new_views_installed += 1;
     app_.new_primary(nv.view, nv.primary);
+    reroute_after_view_change();
 }
 
 void Replica::enter_view(View v) {
@@ -696,17 +796,6 @@ void Replica::enter_view(View v) {
         vc_timer_ = sim::kInvalidEvent;
     }
 
-    // Give the new primary a fresh grace period: request timers armed
-    // under the old primary would otherwise expire immediately after the
-    // view change and trigger a suspicion storm.
-    for (auto& [digest, timer] : request_timers_) {
-        sim_.cancel(timer);
-        const crypto::Digest d = digest;
-        timer = sim_.schedule(config_.request_timeout, [this, d] {
-            request_timers_.erase(d);
-            if (!knows_request(d)) suspect();
-        });
-    }
     for (auto it = view_changes_.begin(); it != view_changes_.end() && it->first <= v;) {
         it = view_changes_.erase(it);
     }
@@ -729,6 +818,66 @@ void Replica::install_reproposals(const std::vector<PrePrepare>& reproposals) {
     for (const PrePrepare& pp : reproposals) {
         if (pp.seq <= last_exec_) continue;
         accept_preprepare(pp);
+    }
+}
+
+void Replica::reroute_after_view_change() {
+    if (primary() == config_.id) {
+        // Leadership gained: requests we forwarded to the deposed primary
+        // are ours to assign now (unless the new-view reproposals already
+        // carry them), along with anything queued behind the watermark.
+        std::vector<Request> retained;
+        retained.reserve(request_timers_.size());
+        for (auto& [digest, fwd] : request_timers_) {
+            sim_.cancel(fwd.timer);
+            retained.push_back(std::move(fwd.request));
+        }
+        request_timers_.clear();
+        for (Request& r : retained) {
+            if (known_requests_.contains(r.digest())) continue;
+            assign_and_propose(r);
+        }
+        drain_pending();
+        if (!open_batch_.empty() && batch_timer_ == sim::kInvalidEvent) flush_batch();
+        return;
+    }
+
+    // Backup: re-forward undelivered requests — a request forwarded to the
+    // deposed primary and not carried by the reproposals would otherwise
+    // be stranded forever — and give the new primary a fresh grace period
+    // on every surviving timer (a timer left armed against the old view
+    // would expire immediately and trigger a suspicion storm).
+    for (auto& [digest, fwd] : request_timers_) {
+        sim_.cancel(fwd.timer);
+        if (!known_requests_.contains(digest)) transport_.send(primary(), Message{fwd.request});
+        fwd.armed_view = view_;
+        fwd.timer = schedule_request_timer(digest);
+    }
+
+    // A deposed primary's open batch and blocked queue: in baseline mode
+    // the requests are handed to the new primary like any other forward.
+    // In ZugChain mode (request_timeout == 0) the communication layer owns
+    // retransmission — its new_primary upcall re-proposes every undecided
+    // payload, and a replica-level copy racing those re-proposals would be
+    // ordered twice and trip the layer's duplicate-decided suspicion — so
+    // the stale copies are dropped here.
+    std::deque<Request> stranded;
+    stranded.swap(pending_);
+    for (Request& r : open_batch_) stranded.push_back(std::move(r));
+    open_batch_.clear();
+    open_batch_digests_.clear();
+    open_batch_bytes_ = 0;
+    if (batch_timer_ != sim::kInvalidEvent) {
+        sim_.cancel(batch_timer_);
+        batch_timer_ = sim::kInvalidEvent;
+    }
+    if (config_.request_timeout <= Duration::zero()) return;
+    for (Request& r : stranded) {
+        const crypto::Digest digest = r.digest();
+        if (known_requests_.contains(digest) || request_timers_.contains(digest)) continue;
+        stats_.pending_rerouted += 1;
+        transport_.send(primary(), Message{r});
+        arm_request_timer(r);
     }
 }
 

@@ -88,6 +88,22 @@ struct ReplicaConfig {
     /// supplies its own soft/hard timers in the communication layer).
     Duration request_timeout{0};
 
+    /// Batch ordering: the primary accumulates proposals into an open
+    /// batch and runs one three-phase instance per batch. A batch is
+    /// flushed when it reaches `max_batch_requests` requests or
+    /// `max_batch_bytes` of payload, or when `batch_linger` elapses after
+    /// the first request entered the batch. The default of 1 preserves the
+    /// classic request-per-instance pipeline (and schedules no linger
+    /// events, keeping same-seed runs byte-identical to it).
+    std::uint32_t max_batch_requests = 1;
+    std::size_t max_batch_bytes = 128 * 1024;
+    Duration batch_linger{0};
+
+    /// Bound on the primary's watermark-blocked proposal queue; overflow
+    /// is dropped (and counted) instead of growing without limit while
+    /// checkpoints stall.
+    std::size_t max_pending = 4096;
+
     /// Retry cadence: after broadcasting a view change, escalate to the
     /// next view if no new view arrives in time.
     Duration view_change_timeout{milliseconds(2000)};
@@ -121,6 +137,10 @@ struct ReplicaStats {
     std::uint64_t new_views_installed = 0;
     std::uint64_t invalid_messages = 0;
     std::uint64_t duplicate_proposals_blocked = 0;
+    std::uint64_t batches_proposed = 0;   ///< preprepares sent by this primary
+    std::uint64_t batched_requests = 0;   ///< requests inside those batches
+    std::uint64_t pending_dropped = 0;    ///< overflow of the bounded pending queue
+    std::uint64_t pending_rerouted = 0;   ///< stranded requests forwarded to a new primary
 };
 
 class Replica {
@@ -149,6 +169,13 @@ public:
     /// Feeds a received protocol message (after transport-level decode).
     void on_message(NodeId from, const Message& m);
 
+    /// Cancels every pending virtual-time timer (view change, batch
+    /// linger, baseline request timers). The node runtime calls this when
+    /// the node crashes: the replica object outlives the crash in the
+    /// harness, and a stale request timer firing after rejoin would
+    /// suspect a primary that was never slow.
+    void cancel_timers();
+
     /// Attaches a request-lifecycle trace sink (null = tracing off).
     void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
 
@@ -176,6 +203,12 @@ public:
     /// Requests preprepared but not yet executed (running instances).
     std::vector<Request> inflight_requests() const;
 
+    /// Watermark-blocked proposals queued on this (primary) replica.
+    std::size_t pending_size() const noexcept { return pending_.size(); }
+
+    /// Requests accumulated in the primary's open (unflushed) batch.
+    std::size_t open_batch_size() const noexcept { return open_batch_.size(); }
+
 private:
     struct Slot {
         std::optional<PrePrepare> preprepare;
@@ -197,12 +230,23 @@ private:
 
     // ordering
     bool assign_and_propose(const Request& request);
+    void flush_batch();
+    void queue_pending(Request request);
     void drain_pending();
     void accept_preprepare(const PrePrepare& pp);
     void maybe_prepared(SeqNo seq);
     void maybe_committed(SeqNo seq);
     void execute_ready();
-    void execute(SeqNo seq, const Request& request);
+    void execute(SeqNo seq, const std::vector<Request>& requests);
+
+    // baseline request timers
+    sim::EventId schedule_request_timer(const crypto::Digest& digest);
+    void arm_request_timer(const Request& request);
+
+    /// After a new view installs: hand stranded work to the new primary
+    /// (or assign it ourselves if we are the new primary) and re-arm the
+    /// surviving request timers against the new view.
+    void reroute_after_view_change();
 
     // checkpoints
     void emit_checkpoint(SeqNo seq);
@@ -257,12 +301,18 @@ private:
     SeqNo last_stable_ = 0;
 
     std::map<SeqNo, Slot> log_;
-    std::map<SeqNo, Request> decided_requests_;  // for app replay on execute gaps
 
     // PBFT-level request dedup: full-request digests in flight or decided.
     std::unordered_map<crypto::Digest, SeqNo, crypto::DigestHash> known_requests_;
 
-    std::deque<Request> pending_;  // watermark-blocked proposals (primary)
+    std::deque<Request> pending_;  // watermark-blocked proposals (primary, bounded)
+
+    // Primary's open batch: requests accumulated since the last flush,
+    // with their digests (same order) for intra-batch dedup.
+    std::vector<Request> open_batch_;
+    std::vector<crypto::Digest> open_batch_digests_;
+    std::size_t open_batch_bytes_ = 0;
+    sim::EventId batch_timer_ = sim::kInvalidEvent;
 
     // checkpoints: seq -> state digest -> replica -> message
     std::map<SeqNo, std::map<crypto::Digest, std::map<NodeId, Checkpoint>>> checkpoints_;
@@ -274,8 +324,16 @@ private:
     sim::EventId vc_timer_ = sim::kInvalidEvent;
     std::uint32_t vc_attempts_ = 0;  // consecutive unsuccessful attempts (backoff)
 
-    // baseline request timers: request digest -> timer
-    std::unordered_map<crypto::Digest, sim::EventId, crypto::DigestHash> request_timers_;
+    // Baseline request timers. The request itself is retained so a backup
+    // can re-forward it to the next primary after a view change, and the
+    // arming view keeps a stale timer from indicting a newer view's
+    // primary.
+    struct ForwardedRequest {
+        sim::EventId timer = sim::kInvalidEvent;
+        View armed_view = 0;
+        Request request;
+    };
+    std::unordered_map<crypto::Digest, ForwardedRequest, crypto::DigestHash> request_timers_;
 
     ReplicaStats stats_;
 };

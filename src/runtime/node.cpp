@@ -208,6 +208,9 @@ void Node::build_stack(View start_view, SeqNo start_seq) {
     rcfg.request_timeout =
         options_.mode == Mode::kBaseline ? options_.request_timeout : Duration::zero();
     rcfg.dedup_proposals = options_.byzantine.duplicate_rate <= 0.0;
+    rcfg.max_batch_requests = options_.batch_max_requests;
+    rcfg.max_batch_bytes = options_.batch_max_bytes;
+    rcfg.batch_linger = options_.batch_linger;
     rcfg.start_view = start_view;
     rcfg.start_seq = start_seq;
 
@@ -260,6 +263,11 @@ void Node::crash() noexcept {
     executor_->clear_queue();
     rx_gauge_->set(0);
     network_.set_endpoint_down(options_.id, true);
+    // The replica object survives until restart() rebuilds the stack, but
+    // its timers must not: a request timer firing while the node is down
+    // (or after rejoin, keyed to a long-gone view) would suspect a primary
+    // that was never slow.
+    if (replica_) replica_->cancel_timers();
     if (options_.trace != nullptr) {
         options_.trace->event(options_.id, sim_.now(), trace::Phase::kNodeDown, options_.id,
                               store_.head_height());

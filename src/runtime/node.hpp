@@ -76,6 +76,12 @@ struct NodeOptions {
 
     Duration view_change_timeout{milliseconds(2000)};
 
+    // PBFT batch ordering: one three-phase instance per batch. 1 request
+    // per batch (and no linger) reproduces the classic pipeline.
+    std::uint32_t batch_max_requests = 1;
+    std::size_t batch_max_bytes = 128 * 1024;
+    Duration batch_linger{0};
+
     /// The M-COM is quad-core but the protocol stack handles messages on a
     /// single thread; utilization is reported against `device_cores`.
     int device_cores = 4;

@@ -140,6 +140,9 @@ void Scenario::build() {
         opts.client_timeout = config_.client_timeout;
         opts.request_timeout = config_.request_timeout;
         opts.view_change_timeout = config_.view_change_timeout;
+        opts.batch_max_requests = config_.batch_max_requests;
+        opts.batch_max_bytes = config_.batch_max_bytes;
+        opts.batch_linger = config_.batch_linger;
         opts.device_cores = config_.device_cores;
         opts.protocol_cores = config_.protocol_cores;
         opts.rx_queue_limit = config_.rx_queue_limit;

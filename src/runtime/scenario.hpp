@@ -48,6 +48,11 @@ struct ScenarioConfig {
     Duration view_change_timeout{milliseconds(2000)};
     std::size_t max_open_per_origin = 32;
 
+    // PBFT batch ordering (1 = classic request-per-instance pipeline).
+    std::uint32_t batch_max_requests = 1;
+    std::size_t batch_max_bytes = 128 * 1024;
+    Duration batch_linger{0};
+
     /// "fast" (HMAC simulation signatures) or "ed25519" (real crypto);
     /// virtual CPU costs are identical either way.
     std::string crypto_provider = "fast";

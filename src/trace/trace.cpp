@@ -46,6 +46,7 @@ constexpr PhaseInfo kPhaseInfo[kPhaseCount] = {
     {"state_transfer", "runtime", 5},
     {"link_down", "runtime", 5},
     {"link_up", "runtime", 5},
+    {"batch_proposed", "pbft", 2},
 };
 
 constexpr TimePoint kUnset{-1};
@@ -73,7 +74,7 @@ void Tracer::set_process_label(NodeId node, std::string label) {
 
 void Tracer::event(NodeId node, TimePoint at, Phase phase, TraceId trace, std::uint64_t arg) {
     if (capture_) events_.push_back({at, Duration::zero(), trace, arg, node, phase, false});
-    if (registry_ != nullptr) aggregate(node, at, phase, trace);
+    if (registry_ != nullptr) aggregate(node, at, phase, trace, arg);
 }
 
 void Tracer::span(NodeId node, TimePoint start, Duration dur, Phase phase, TraceId trace,
@@ -85,7 +86,8 @@ void Tracer::span(NodeId node, TimePoint start, Duration dur, Phase phase, Trace
         ->record(static_cast<std::uint64_t>(std::max<std::int64_t>(dur.count(), 0)));
 }
 
-void Tracer::aggregate(NodeId node, TimePoint at, Phase phase, TraceId trace) {
+void Tracer::aggregate(NodeId node, TimePoint at, Phase phase, TraceId trace,
+                       std::uint64_t arg) {
     registry_->counter(node, phase_name(phase))->add(1);
 
     const auto record_ns = [&](const char* name, Duration d) {
@@ -143,6 +145,11 @@ void Tracer::aggregate(NodeId node, TimePoint at, Phase phase, TraceId trace) {
             }
             break;
         }
+        case Phase::kBatchProposed: {
+            // Batch occupancy: requests per flushed batch on the primary.
+            registry_->histogram(node, "batch_requests")->record(arg);
+            break;
+        }
         default:
             break;
     }
@@ -177,7 +184,8 @@ std::string Tracer::chrome_json() const {
                                                     : ("host-" + std::to_string(pid)).c_str());
         emit(buf);
     }
-    static constexpr const char* kCategoryNames[] = {"bus", "layer", "pbft", "chain", "export"};
+    static constexpr const char* kCategoryNames[] = {"bus",    "layer",  "pbft",
+                                                     "chain",  "export", "runtime"};
     for (const auto& [pid, tid] : rows) {
         std::snprintf(buf, sizeof buf,
                       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"

@@ -79,9 +79,11 @@ enum class Phase : std::uint8_t {
     kStateTransfer,
     kLinkDown,
     kLinkUp,
+    // batch ordering (arg = number of requests in the flushed batch)
+    kBatchProposed,
 };
 
-inline constexpr unsigned kPhaseCount = static_cast<unsigned>(Phase::kLinkUp) + 1;
+inline constexpr unsigned kPhaseCount = static_cast<unsigned>(Phase::kBatchProposed) + 1;
 
 const char* phase_name(Phase p) noexcept;
 
@@ -182,7 +184,7 @@ private:
         TimePoint order_start{-1};
     };
 
-    void aggregate(NodeId node, TimePoint at, Phase phase, TraceId trace);
+    void aggregate(NodeId node, TimePoint at, Phase phase, TraceId trace, std::uint64_t arg);
     static std::uint64_t life_key(NodeId node, TraceId trace) noexcept {
         return (static_cast<std::uint64_t>(node) << 48) ^ trace;
     }

@@ -52,8 +52,10 @@ pbft::Message sample_pbft_message(Rng& rng, int which) {
             pbft::PrePrepare pp;
             pp.view = rng.next_below(10);
             pp.seq = rng.next_below(1000);
-            pp.request.payload = rng.bytes(32);
-            pp.req_digest = pp.request.digest();
+            pbft::Request preq;
+            preq.payload = rng.bytes(32);
+            pp.requests = {preq};
+            pp.req_digest = pbft::PrePrepare::batch_digest(pp.requests);
             pp.primary = 0;
             return pp;
         }

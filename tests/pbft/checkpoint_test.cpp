@@ -17,7 +17,7 @@ TEST(PbftWatermarks, PrePrepareOutsideWindowIgnored) {
     PrePrepare pp;
     pp.view = 0;
     pp.seq = 21;  // beyond low + window... (low = 0, window = 20) -> 21 out
-    pp.request = r;
+    pp.requests = {r};
     pp.req_digest = r.digest();
     pp.primary = 0;
     pp.sig = c.crypto_of(0).sign(pp.signing_bytes());
@@ -33,7 +33,7 @@ TEST(PbftWatermarks, SeqZeroAndReplayIgnored) {
     PrePrepare pp;
     pp.view = 0;
     pp.seq = 0;  // below low watermark
-    pp.request = r;
+    pp.requests = {r};
     pp.req_digest = r.digest();
     pp.primary = 0;
     pp.sig = c.crypto_of(0).sign(pp.signing_bytes());

@@ -52,8 +52,8 @@ TEST(Messages, PrePrepareRoundTrip) {
     PrePrepare pp;
     pp.view = 3;
     pp.seq = 42;
-    pp.request = sample_request();
-    pp.req_digest = pp.request.digest();
+    pp.requests = {sample_request()};
+    pp.req_digest = PrePrepare::batch_digest(pp.requests);
     pp.primary = 3 % 4;
     pp.sig.v.fill(0x11);
     const auto m = decode_message(encode_message(Message{pp}));
@@ -106,8 +106,9 @@ TEST(Messages, ViewChangeRoundTrip) {
     PreparedProof prepared;
     prepared.preprepare.view = 1;
     prepared.preprepare.seq = 11;
-    prepared.preprepare.request = sample_request();
-    prepared.preprepare.req_digest = prepared.preprepare.request.digest();
+    prepared.preprepare.requests = {sample_request()};
+    prepared.preprepare.req_digest =
+        PrePrepare::batch_digest(prepared.preprepare.requests);
     prepared.preprepare.primary = 1;
     for (NodeId i = 2; i < 4; ++i) {
         Prepare p;
@@ -136,7 +137,7 @@ TEST(Messages, NewViewRoundTrip) {
     PrePrepare pp;
     pp.view = 5;
     pp.seq = 1;
-    pp.request = Request::null();
+    pp.requests = {Request::null()};
     pp.req_digest = Request::null().digest();
     pp.primary = 1;
     nv.reproposals.push_back(pp);

@@ -294,13 +294,13 @@ TEST(PbftByzantine, EquivocatingPrimaryGetsSuspected) {
     PrePrepare pp1;
     pp1.view = 0;
     pp1.seq = 1;
-    pp1.request = r1;
+    pp1.requests = {r1};
     pp1.req_digest = r1.digest();
     pp1.primary = 0;
     pp1.sig = c.crypto_of(0).sign(pp1.signing_bytes());
 
     PrePrepare pp2 = pp1;
-    pp2.request = r2;
+    pp2.requests = {r2};
     pp2.req_digest = r2.digest();
     pp2.sig = c.crypto_of(0).sign(pp2.signing_bytes());
 
@@ -315,7 +315,7 @@ TEST(PbftByzantine, ForgedSignatureRejected) {
     PrePrepare pp;
     pp.view = 0;
     pp.seq = 1;
-    pp.request = r;
+    pp.requests = {r};
     pp.req_digest = r.digest();
     pp.primary = 0;
     pp.sig = c.crypto_of(2).sign(pp.signing_bytes());  // wrong signer

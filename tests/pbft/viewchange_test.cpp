@@ -35,7 +35,7 @@ TEST(ViewChangeValidation, BogusPreparedProofRejected) {
     PrePrepare pp;
     pp.view = 0;
     pp.seq = 1;
-    pp.request = r;
+    pp.requests = {r};
     pp.req_digest = r.digest();
     pp.primary = 0;
     pp.sig = c.crypto_of(3).sign(pp.signing_bytes());  // forged: not primary's key
@@ -91,7 +91,7 @@ TEST(ViewChangeValidation, NewViewWithWrongReproposalsRejected) {
     PrePrepare extra;
     extra.view = 1;
     extra.seq = 1;
-    extra.request = Request::null();
+    extra.requests = {Request::null()};
     extra.req_digest = Request::null().digest();
     extra.primary = 1;
     extra.sig = c.crypto_of(1).sign(extra.signing_bytes());

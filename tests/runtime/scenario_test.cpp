@@ -296,6 +296,21 @@ TEST(ScenarioDeterminism, SameSeedSameResult) {
     EXPECT_EQ(a.report().total_bytes, b.report().total_bytes);
 }
 
+TEST(ScenarioDeterminism, SameSeedSameResultWithBatching) {
+    ScenarioConfig cfg = base_config();
+    cfg.duration = seconds(10);
+    cfg.seed = 1234;
+    cfg.batch_max_requests = 8;
+    cfg.batch_linger = milliseconds(2);
+    Scenario a(cfg);
+    a.run();
+    Scenario b(cfg);
+    b.run();
+    EXPECT_EQ(a.node(0).store().head_hash(), b.node(0).store().head_hash());
+    EXPECT_EQ(a.report().total_bytes, b.report().total_bytes);
+    EXPECT_GT(a.report().logged_unique, 0u);
+}
+
 TEST(ScenarioDeterminism, DifferentSeedsDifferentTraces) {
     ScenarioConfig cfg = base_config();
     cfg.duration = seconds(10);

@@ -58,6 +58,7 @@ struct Args {
         std::fprintf(stderr,
                      "usage: %s [--mode zugchain|baseline] [--n N] [--f F] [--cycle-ms MS]\n"
                      "          [--payload BYTES] [--block-size N] [--duration-s S] [--seed S]\n"
+                     "          [--batch-size N] [--batch-linger-us US]\n"
                      "          [--dcs N] [--export-at-s S] [--export-timeout-s S]\n"
                      "          [--crash-primary-at-s S]\n"
                      "          [--crash T:NODE[:RESTART_AFTER]] [--flap T:DUR:lte|nodeID]\n"
@@ -114,6 +115,10 @@ struct Args {
                 args.cfg.payload_size = static_cast<std::size_t>(std::atoll(need_value(i)));
             } else if (flag == "--block-size") {
                 args.cfg.block_size = static_cast<SeqNo>(std::atoll(need_value(i)));
+            } else if (flag == "--batch-size") {
+                args.cfg.batch_max_requests = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+            } else if (flag == "--batch-linger-us") {
+                args.cfg.batch_linger = microseconds(std::atoll(need_value(i)));
             } else if (flag == "--duration-s") {
                 args.cfg.duration = seconds(std::atoll(need_value(i)));
             } else if (flag == "--seed") {
