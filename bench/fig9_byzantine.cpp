@@ -11,6 +11,7 @@
 //
 // An ablation row runs the 100 % flood with the rate limiter disabled.
 #include "bench_util.hpp"
+#include "faults/profiles.hpp"
 
 using namespace zc;
 using namespace zc::bench;
@@ -25,13 +26,14 @@ RunMeasurement run_byz(double fabricate, Duration delay, bool limiter,
     // (§III-C); a handful of cycles' worth. Disabled for the ablation.
     cfg.max_open_per_origin = limiter ? 8 : (1u << 20);
     if (fabricate > 0) {
-        runtime::ByzantineBehavior byz;
+        // The named fig9-flood profile, rescaled for the 25/75 % rows.
+        faults::AdversaryConfig byz = *faults::profile_config("fig9-flood");
         byz.fabricate_rate = fabricate;
         byz.fabricate_burst = burst;
         cfg.byzantine[3] = byz;  // a faulty backup
     }
     if (delay > Duration::zero()) {
-        runtime::ByzantineBehavior byz;
+        faults::AdversaryConfig byz = *faults::profile_config("delayer");
         byz.preprepare_delay = delay;
         cfg.byzantine[0] = byz;  // the (initial) primary
     }
@@ -96,9 +98,8 @@ int main() {
         ScenarioConfig cfg = paper_config();
         cfg.duration = seconds(20);
         if (censor) {
-            runtime::ByzantineBehavior byz;
-            byz.drop_preprepares = true;
-            cfg.byzantine[0] = byz;  // the (initial) primary censors
+            // the (initial) primary censors
+            cfg.byzantine[0] = *faults::profile_config("censor");
         }
         health::FlightRecorder recorder;
         health::HealthMonitor monitor;

@@ -9,6 +9,8 @@ void LoggedRequest::encode(codec::Writer& w) const {
     w.bytes(payload);
     w.u32(origin);
     w.u64(seq);
+    w.u64(origin_seq);
+    w.raw(sig.v);
 }
 
 LoggedRequest LoggedRequest::decode(codec::Reader& r) {
@@ -16,6 +18,8 @@ LoggedRequest LoggedRequest::decode(codec::Reader& r) {
     req.payload = r.bytes();
     req.origin = r.u32();
     req.seq = r.u64();
+    req.origin_seq = r.u64();
+    req.sig.v = r.raw_array<64>();
     return req;
 }
 

@@ -13,14 +13,20 @@
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "crypto/digest.hpp"
+#include "crypto/ed25519.hpp"
 
 namespace zc::chain {
 
-/// A totally ordered, logged request.
+/// A totally ordered, logged request. Carries the origin's request
+/// signature so the chain itself is juridical evidence: any party holding
+/// the deployment's key directory can re-verify who injected each input
+/// without access to consensus transcripts.
 struct LoggedRequest {
     Bytes payload;          ///< filtered JRU record bytes
     NodeId origin = 0;      ///< node that received this input from the bus
     SeqNo seq = 0;          ///< consensus sequence number
+    std::uint64_t origin_seq = 0;   ///< origin's uniqueifier (bus cycle)
+    crypto::Signature sig{};        ///< origin's signature over the request
 
     void encode(codec::Writer& w) const;
     static LoggedRequest decode(codec::Reader& r);
@@ -28,7 +34,7 @@ struct LoggedRequest {
     /// Digest used as the request's Merkle leaf.
     crypto::Digest digest() const;
 
-    std::size_t size_bytes() const noexcept { return payload.size() + 16; }
+    std::size_t size_bytes() const noexcept { return payload.size() + 88; }
 
     friend bool operator==(const LoggedRequest&, const LoggedRequest&) = default;
 };

@@ -102,6 +102,7 @@ void DataCenter::on_message(const ExportMessage& m) {
 }
 
 bool DataCenter::validate_proof(const pbft::CheckpointProof& proof) {
+    if (proof.messages.size() > config_.n) return false;
     std::set<NodeId> signers;
     for (const pbft::Checkpoint& c : proof.messages) {
         if (c.seq != proof.seq || c.state != proof.state) return false;
@@ -161,10 +162,43 @@ bool DataCenter::append_blocks(std::vector<chain::Block> blocks) {
     return true;
 }
 
+bool DataCenter::staged_range_valid(std::vector<chain::Block>& blocks, Height target,
+                                    const crypto::Digest& state) {
+    std::sort(blocks.begin(), blocks.end(), [](const chain::Block& a, const chain::Block& b) {
+        return a.header.height < b.header.height;
+    });
+    std::vector<chain::Block> kept;
+    kept.reserve(blocks.size());
+    for (chain::Block& b : blocks) {
+        if (b.header.height <= store_.head_height() || b.header.height > target) continue;
+        if (!kept.empty() && kept.back().header.height == b.header.height) continue;
+        kept.push_back(std::move(b));
+    }
+    blocks = std::move(kept);
+    Height expect = store_.head_height() + 1;
+    crypto::Digest prev = store_.head_hash();
+    for (const chain::Block& b : blocks) {
+        crypto_.charge_hash(b.size_bytes());
+        if (b.header.height != expect || b.header.parent_hash != prev || !b.payload_valid()) {
+            return false;
+        }
+        prev = b.hash();
+        expect += 1;
+    }
+    return expect == target + 1 && prev == state;
+}
+
+void DataCenter::adopt_blocks(std::vector<chain::Block> blocks) {
+    for (chain::Block& b : blocks) store_.append(std::move(b));
+}
+
 void DataCenter::verify_and_continue() {
     // (4) Validate the chain up to the block covered by the checkpoint.
     const Duration meter_before = crypto_.meter().pending();
 
+#ifdef ZC_BREAK_VALIDATION
+    // Pre-hardening behaviour (CI negative test): blocks enter the
+    // permanent store before the checkpoint-digest check.
     if (!append_blocks(std::move(staged_blocks_))) {
         staged_blocks_.clear();
         retry_round();
@@ -173,8 +207,6 @@ void DataCenter::verify_and_continue() {
     staged_blocks_.clear();
 
     if (store_.head_height() < target_height_) {
-        // Blocks missing between last_sn and the checkpointed block:
-        // second round of communication (§III-D step 4).
         state_ = State::kFetching;
         BlockFetch fetch;
         fetch.dc = config_.id;
@@ -190,9 +222,6 @@ void DataCenter::verify_and_continue() {
         arm_timeout();
         return;
     }
-
-    // The checkpoint digest is the chain head hash: the exported block at
-    // target height must hash to it.
     const chain::BlockHeader* head = store_.header(target_height_);
     if (head == nullptr || head->hash() != best_proof_->state) {
         ZC_WARN("export-dc", "dc {} chain/checkpoint mismatch at height {}", config_.id,
@@ -201,6 +230,65 @@ void DataCenter::verify_and_continue() {
         finish(false);
         return;
     }
+#else
+    if (store_.head_height() >= target_height_) {
+        // Already covered by an earlier export/sync; nothing to adopt,
+        // but the certified digest must still match what we hold.
+        staged_blocks_.clear();
+        const chain::BlockHeader* covered = store_.header(target_height_);
+        if (covered == nullptr || covered->hash() != best_proof_->state) {
+            ZC_WARN("export-dc", "dc {} chain/checkpoint mismatch at height {}", config_.id,
+                    target_height_);
+            stats_.exports_failed += 1;
+            finish(false);
+            return;
+        }
+    } else {
+        // Coverage check first: a gap between our head (plus what is
+        // staged) and the checkpointed block needs a second fetch round
+        // (§III-D step 4). Staged blocks stay staged across rounds.
+        std::sort(staged_blocks_.begin(), staged_blocks_.end(),
+                  [](const chain::Block& a, const chain::Block& b) {
+                      return a.header.height < b.header.height;
+                  });
+        Height top = store_.head_height();
+        for (const chain::Block& b : staged_blocks_) {
+            if (b.header.height == top + 1) top += 1;
+        }
+        if (top < target_height_) {
+            state_ = State::kFetching;
+            BlockFetch fetch;
+            fetch.dc = config_.id;
+            fetch.from = top + 1;
+            fetch.to = target_height_;
+            fetch.sig = crypto_.sign(fetch.signing_bytes());
+            std::vector<NodeId> candidates;
+            for (NodeId i = 0; i < config_.n; ++i) {
+                if (i != full_from_) candidates.push_back(i);
+            }
+            transport_.to_replica(candidates[rng_.next_below(candidates.size())],
+                                  ExportMessage{fetch});
+            arm_timeout();
+            return;
+        }
+
+        // Stage-then-adopt: the whole range must hash-link from our head
+        // to the quorum-certified checkpoint digest BEFORE anything is
+        // appended to the permanent store. A forged-but-hash-linked range
+        // from a compromised replica dies here and we retry elsewhere.
+        if (!staged_range_valid(staged_blocks_, target_height_, best_proof_->state)) {
+            ZC_WARN("export-dc", "dc {} rejected {} staged blocks (checkpoint mismatch)",
+                    config_.id, staged_blocks_.size());
+            stats_.blocks_rejected += staged_blocks_.size();
+            staged_blocks_.clear();
+            retry_round();
+            return;
+        }
+        adopt_blocks(std::move(staged_blocks_));
+        staged_blocks_.clear();
+    }
+    const chain::BlockHeader* head = store_.header(target_height_);
+#endif
 
     const Duration verify_cost = crypto_.meter().pending() - meter_before;
     current_.verify_cost += verify_cost;
@@ -228,7 +316,9 @@ void DataCenter::handle(const BlockFetchReply& m) {
         stats_.invalid_messages += 1;
         return;
     }
-    staged_blocks_ = m.blocks;
+    // Accumulate: earlier staged (but not yet validated/adopted) blocks
+    // are still pending; the fetch round filled the gap above them.
+    staged_blocks_.insert(staged_blocks_.end(), m.blocks.begin(), m.blocks.end());
     state_ = State::kReading;  // re-enter verification
     verify_and_continue();
 }
@@ -260,6 +350,9 @@ void DataCenter::handle(const DcSync& m) {
     stats_.syncs_received += 1;
 
     const Height target = m.proof.seq / config_.checkpoint_interval;
+#ifdef ZC_BREAK_VALIDATION
+    // Pre-hardening behaviour (CI negative test): peer blocks enter the
+    // permanent store before the proof-digest check.
     const bool appended = append_blocks(m.blocks);
     if (!appended || store_.head_height() < target) {
         // We missed earlier exports (error (iv)): the replicas may have
@@ -273,6 +366,41 @@ void DataCenter::handle(const DcSync& m) {
         transport_.to_data_center(m.from, ExportMessage{fetch});
         return;
     }
+#else
+    if (store_.head_height() < target) {
+        std::vector<chain::Block> staged = m.blocks;
+        std::sort(staged.begin(), staged.end(),
+                  [](const chain::Block& a, const chain::Block& b) {
+                      return a.header.height < b.header.height;
+                  });
+        Height top = store_.head_height();
+        for (const chain::Block& b : staged) {
+            if (b.header.height == top + 1) top += 1;
+        }
+        if (top < target) {
+            // We missed earlier exports (error (iv)): the replicas may
+            // have pruned those blocks, so recover the gap from the peer
+            // that has the full history.
+            DcFetch fetch;
+            fetch.from_dc = config_.id;
+            fetch.from = store_.head_height() + 1;
+            fetch.to = target;
+            fetch.sig = crypto_.sign(fetch.signing_bytes());
+            transport_.to_data_center(m.from, ExportMessage{fetch});
+            return;
+        }
+        // Stage-then-adopt: the peer's range must hash-link from our head
+        // to the proof digest before anything touches the permanent store.
+        if (!staged_range_valid(staged, target, m.proof.state)) {
+            ZC_WARN("export-dc", "dc {} rejected {} sync blocks from dc {}", config_.id,
+                    staged.size(), m.from);
+            stats_.blocks_rejected += staged.size();
+            stats_.invalid_messages += 1;
+            return;
+        }
+        adopt_blocks(std::move(staged));
+    }
+#endif
     const chain::BlockHeader* head = store_.header(target);
     if (head == nullptr || head->hash() != m.proof.state) return;
     last_proof_ = m.proof;

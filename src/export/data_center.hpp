@@ -68,6 +68,12 @@ struct DcStats {
     std::uint64_t retries = 0;
     std::uint64_t invalid_messages = 0;
     std::uint64_t syncs_received = 0;
+
+    /// Staged blocks discarded because the assembled range failed
+    /// validation against the checkpoint digest (forged or corrupt blocks
+    /// from a compromised replica or peer DC). The permanent store is
+    /// never touched by a rejected range.
+    std::uint64_t blocks_rejected = 0;
 };
 
 class DataCenter {
@@ -87,6 +93,13 @@ public:
     const chain::BlockStore& store() const noexcept { return store_; }
     const std::vector<ExportRecord>& history() const noexcept { return history_; }
     const DcStats& stats() const noexcept { return stats_; }
+
+    /// Latest quorum-certified checkpoint proof covering this DC's chain
+    /// (null until the first successful export/sync). The safety auditor
+    /// uses it to check that the exported chain is a proof-covered prefix.
+    const pbft::CheckpointProof* last_proof() const noexcept {
+        return last_proof_ ? &*last_proof_ : nullptr;
+    }
     bool exporting() const noexcept {
         return state_ != State::kIdle || retry_timer_ != sim::kInvalidEvent;
     }
@@ -114,6 +127,16 @@ private:
     void maybe_complete_read();
     void verify_and_continue();
     bool append_blocks(std::vector<chain::Block> blocks);
+
+    /// Sorts + dedups `blocks` (dropping heights <= head) and checks that
+    /// the remainder is a contiguous, hash-linked, payload-valid extension
+    /// of the store reaching exactly `target` with head hash `state`.
+    /// Validation only — the store is not modified.
+    bool staged_range_valid(std::vector<chain::Block>& blocks, Height target,
+                            const crypto::Digest& state);
+
+    /// Adopts a range previously accepted by staged_range_valid.
+    void adopt_blocks(std::vector<chain::Block> blocks);
     void issue_delete(Height height, const crypto::Digest& block_hash);
     void finish(bool success);
     void arm_timeout();

@@ -1,0 +1,173 @@
+// Byzantine adversary controller (paper §II-B fault model).
+//
+// A compromised node keeps running the honest protocol stack, but every
+// outgoing channel — consensus traffic, ZugChain layer gossip, export
+// serving and state-transfer serving — passes through one Adversary
+// object that applies a deterministic, seeded mutation pipeline. The
+// pipeline covers the paper's full Byzantine surface, not just the Fig. 9
+// performance attacks:
+//
+//   * equivocation: per-recipient PrePrepares binding different request
+//     batches (and digests) to the same (view, seq),
+//   * field tampering: request-digest flips and signature stripping,
+//   * message replay from a bounded history,
+//   * lying view changes (hiding prepared requests and the stable
+//     checkpoint) and stale checkpoint re-announcements,
+//   * under-quorum export proofs (2f+1 copies of a single replica's
+//     checkpoint) and forged-but-hash-linked block ranges served to
+//     state-transfer and export clients.
+//
+// All decisions draw from an Rng stream forked from the simulation seed,
+// so adversarial runs stay byte-identical across same-seed executions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "crypto/context.hpp"
+#include "export/messages.hpp"
+#include "pbft/messages.hpp"
+#include "sim/simulation.hpp"
+
+namespace zc::faults {
+
+/// Knobs of a compromised node. The first block is the legacy
+/// `runtime::ByzantineBehavior` surface (Fig. 9 performance attacks); the
+/// rest are safety attacks. Named presets live in faults/profiles.hpp.
+struct AdversaryConfig {
+    // -- Fig. 9 performance attacks (legacy knob names kept) --
+    double fabricate_rate = 0.0;        ///< fabricated self-originated requests per bus cycle
+    std::uint32_t fabricate_burst = 1;  ///< fabricated requests per firing
+    Duration preprepare_delay{0};       ///< delay outgoing preprepares (slow primary)
+    bool drop_preprepares = false;      ///< censor: never send preprepares
+    double duplicate_rate = 0.0;        ///< chance to re-propose an already-proposed request
+    bool mute = false;                  ///< drop all outgoing protocol traffic
+
+    // -- safety attacks --
+    double equivocate_rate = 0.0;   ///< chance to equivocate toward one victim: a forged batch
+                                    ///< when primary, a split Prepare vote when a backup
+    double digest_flip_rate = 0.0;  ///< per-message chance to corrupt req_digest (re-signed)
+    double sig_strip_rate = 0.0;    ///< per-message chance to zero the signature
+    double replay_rate = 0.0;       ///< per-send chance to replay an old message to the peer
+    bool lie_view_change = false;   ///< hide prepared requests + stable proof in own VCs
+    bool stale_checkpoint = false;  ///< keep re-announcing the oldest own checkpoint
+    bool under_quorum_proofs = false;  ///< export proofs collapse to one distinct signer
+    bool forge_export_blocks = false;  ///< serve forged-but-linked blocks to DC readers
+    bool poison_state_transfer = false;  ///< serve forged-but-linked blocks to rejoiners
+
+    /// Any knob set at all (the node is compromised).
+    bool any() const noexcept {
+        return fabricate_rate > 0.0 || preprepare_delay > Duration::zero() ||
+               drop_preprepares || duplicate_rate > 0.0 || mute || equivocate_rate > 0.0 ||
+               digest_flip_rate > 0.0 || sig_strip_rate > 0.0 || replay_rate > 0.0 ||
+               lie_view_change || stale_checkpoint || under_quorum_proofs ||
+               forge_export_blocks || poison_state_transfer;
+    }
+};
+
+/// Attack attempts, by action. `attempts()` is what the acceptance gate
+/// checks: a profile that never fires is a misconfigured scenario.
+struct AdversaryStats {
+    std::uint64_t fabricated = 0;
+    std::uint64_t duplicates_proposed = 0;
+    std::uint64_t muted = 0;
+    std::uint64_t preprepares_dropped = 0;
+    std::uint64_t preprepares_delayed = 0;
+    std::uint64_t equivocations = 0;
+    std::uint64_t digests_flipped = 0;
+    std::uint64_t sigs_stripped = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t lied_view_changes = 0;
+    std::uint64_t stale_checkpoints = 0;
+    std::uint64_t under_quorum_proofs = 0;
+    std::uint64_t forged_blocks = 0;
+    std::uint64_t st_poisonings = 0;
+
+    std::uint64_t attempts() const noexcept {
+        return fabricated + duplicates_proposed + muted + preprepares_dropped +
+               preprepares_delayed + equivocations + digests_flipped + sigs_stripped + replays +
+               lied_view_changes + stale_checkpoints + under_quorum_proofs + forged_blocks +
+               st_poisonings;
+    }
+};
+
+/// Mutation pipeline for one compromised node. The owning runtime Node
+/// routes every outgoing message through it; the pipeline decides what
+/// (if anything) reaches the wire via the emit callback.
+class Adversary {
+public:
+    using PbftEmit = std::function<void(NodeId to, const pbft::Message& m)>;
+
+    Adversary(AdversaryConfig config, NodeId id, std::uint32_t n, sim::Simulation& sim,
+              crypto::CryptoContext& crypto);
+
+    const AdversaryConfig& config() const noexcept { return config_; }
+    const AdversaryStats& stats() const noexcept { return stats_; }
+    /// Node-level attacks (request fabrication/duplication) and the
+    /// scenario's state-transfer serving hook count their attempts here.
+    AdversaryStats& stats_mut() noexcept { return stats_; }
+
+    /// Wire sink for the consensus channel; must be set before pbft_send.
+    void set_pbft_emit(PbftEmit emit) { emit_ = std::move(emit); }
+
+    /// Consensus channel: runs the pipeline and emits zero or more
+    /// messages (possibly later — delayed messages re-enter the pipeline
+    /// when their timer fires instead of bypassing it).
+    void pbft_send(NodeId to, const pbft::Message& m);
+
+    /// Layer gossip channel. Returns false to suppress the send; may
+    /// tamper the request in place.
+    bool mutate_layer(pbft::Request& r);
+    /// True → the (already mutated) layer message is sent a second time.
+    bool replay_layer();
+
+    /// Export serving channel. Returns false to suppress; may tamper the
+    /// reply in place (under-quorum proofs, forged block ranges).
+    bool mutate_export(exporter::ExportMessage& m);
+
+    /// A forged block range chained onto `parent` covering [from, to]:
+    /// every parent link and payload root verifies, so only an endpoint
+    /// check against a quorum-signed checkpoint digest can reject it.
+    std::vector<chain::Block> forged_range(const crypto::Digest& parent, Height from, Height to);
+
+    /// Cancels scheduled delayed sends (called from Node::crash()).
+    void cancel_pending();
+
+private:
+    void run_pipeline(NodeId to, pbft::Message m);
+    void emit_with_replay(NodeId to, pbft::Message m);
+    const pbft::PrePrepare* equivocation_variant(const pbft::PrePrepare& pp);
+    pbft::Request forge_request();
+
+    AdversaryConfig config_;
+    NodeId id_;
+    std::uint32_t n_;
+    sim::Simulation& sim_;
+    crypto::CryptoContext& crypto_;
+    Rng rng_;
+    PbftEmit emit_;
+    AdversaryStats stats_;
+
+    /// Cached per-slot equivocation decisions so every resend of the same
+    /// slot behaves consistently (a flip-flopping equivocator is trivially
+    /// detectable); nullopt records a "send honestly" decision.
+    std::map<std::pair<View, SeqNo>, std::optional<pbft::PrePrepare>> variants_;
+    /// Own past checkpoints, for stale re-announcement.
+    std::deque<pbft::Checkpoint> past_checkpoints_;
+    /// Bounded send history feeding the replay action.
+    std::deque<std::pair<NodeId, pbft::Message>> history_;
+    /// Pending delayed sends, cancelled on crash.
+    std::vector<sim::EventId> pending_;
+    std::uint64_t forge_counter_ = 0;
+};
+
+}  // namespace zc::faults

@@ -1,0 +1,47 @@
+#include "faults/profiles.hpp"
+
+namespace zc::faults {
+
+std::optional<AdversaryConfig> profile_config(std::string_view name) {
+    AdversaryConfig c;
+    if (name == "fig9-flood") {
+        // Paper Fig. 9 request-fabrication flood.
+        c.fabricate_rate = 1.0;
+        c.fabricate_burst = 4;
+    } else if (name == "censor") {
+        c.drop_preprepares = true;
+    } else if (name == "delayer") {
+        c.preprepare_delay = milliseconds(250);
+    } else if (name == "duplicator") {
+        c.duplicate_rate = 0.5;
+    } else if (name == "mute") {
+        c.mute = true;
+    } else if (name == "equivocator") {
+        c.equivocate_rate = 0.35;
+    } else if (name == "tamperer") {
+        c.digest_flip_rate = 0.25;
+        c.sig_strip_rate = 0.25;
+    } else if (name == "replayer") {
+        c.replay_rate = 0.5;
+    } else if (name == "liar") {
+        // Censors as primary to force a view change, then lies in it.
+        c.drop_preprepares = true;
+        c.lie_view_change = true;
+        c.stale_checkpoint = true;
+    } else if (name == "poisoner") {
+        // Attacks the read paths: rejoining replicas and DC exports.
+        c.poison_state_transfer = true;
+        c.forge_export_blocks = true;
+        c.under_quorum_proofs = true;
+    } else {
+        return std::nullopt;
+    }
+    return c;
+}
+
+std::vector<std::string> profile_names() {
+    return {"fig9-flood", "censor",   "delayer",  "duplicator", "mute",
+            "equivocator", "tamperer", "replayer", "liar",       "poisoner"};
+}
+
+}  // namespace zc::faults

@@ -1,0 +1,21 @@
+// Named adversary profiles: the Fig. 9 performance attacks plus the
+// safety attacks, as ready-made configurations for `zugchain_sim
+// --adversary PROFILE:NODE`, scenario tests and the CI smoke matrix.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/adversary.hpp"
+
+namespace zc::faults {
+
+/// Config for a named profile, or nullopt for an unknown name.
+std::optional<AdversaryConfig> profile_config(std::string_view name);
+
+/// All profile names, in a fixed order (CI iterates this list).
+std::vector<std::string> profile_names();
+
+}  // namespace zc::faults

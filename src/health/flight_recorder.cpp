@@ -33,6 +33,8 @@ bool FlightRecorder::notable(trace::Phase phase) noexcept {
         case trace::Phase::kStateTransfer:
         case trace::Phase::kLinkDown:
         case trace::Phase::kLinkUp:
+        case trace::Phase::kStateTransferRejected:
+        case trace::Phase::kAuditViolation:
             return true;
         default:
             return false;

@@ -442,6 +442,12 @@ void Replica::handle(NodeId from, const Checkpoint& c) {
         return;
     }
     if (c.seq <= last_stable_) return;
+    if (c.seq % config_.checkpoint_interval != 0) {
+        // Checkpoints exist only at interval boundaries; an off-interval
+        // seq is fabricated and must not seed a (phantom) quorum.
+        stats_.invalid_messages += 1;
+        return;
+    }
     if (!crypto_.verify(c.replica, c.signing_bytes(), c.sig)) {
         stats_.invalid_messages += 1;
         return;
@@ -563,6 +569,9 @@ ViewChange Replica::build_view_change(View target) {
 }
 
 bool Replica::validate_checkpoint_proof(const CheckpointProof& proof) {
+    // Bound the work a forged proof can demand: more signatures than
+    // replicas is impossible for an honest proof.
+    if (proof.messages.size() > config_.n) return false;
     std::set<NodeId> signers;
     for (const Checkpoint& c : proof.messages) {
         if (c.seq != proof.seq || c.state != proof.state) return false;
@@ -573,6 +582,7 @@ bool Replica::validate_checkpoint_proof(const CheckpointProof& proof) {
 }
 
 bool Replica::validate_prepared_proof(const PreparedProof& proof) {
+    if (proof.prepares.size() > config_.n) return false;
     const PrePrepare& pp = proof.preprepare;
     if (pp.primary != primary_of(pp.view)) return false;
     if (pp.requests.empty()) return false;
@@ -606,7 +616,12 @@ bool Replica::validate_view_change(const ViewChange& vc) {
 
 void Replica::handle(NodeId from, const ViewChange& vc) {
     if (vc.replica != from || vc.new_view <= view_) return;
-    if (view_changes_[vc.new_view].contains(vc.replica)) return;
+    // find(), not operator[]: the lookup must not create a phantom entry
+    // for a view we have never validated a message for.
+    if (auto it = view_changes_.find(vc.new_view);
+        it != view_changes_.end() && it->second.contains(vc.replica)) {
+        return;
+    }
     if (!validate_view_change(vc)) {
         stats_.invalid_messages += 1;
         return;

@@ -15,7 +15,13 @@ struct Node::PbftTransportAdapter final : pbft::Transport {
     explicit PbftTransportAdapter(Node& node) : node(node) {}
 
     void send(NodeId to, const pbft::Message& m) override {
-        if (!apply_byzantine(m, to)) return;
+        // A compromised node's consensus traffic goes through the adversary
+        // pipeline, which owns suppression, delay (delayed messages re-enter
+        // the pipeline, they do not bypass it), tampering and emission.
+        if (node.adversary_ != nullptr) {
+            node.adversary_->pbft_send(to, m);
+            return;
+        }
         node.send_enveloped(to, Channel::kPbft, pbft::encode_message(m));
     }
 
@@ -26,24 +32,6 @@ struct Node::PbftTransportAdapter final : pbft::Transport {
         }
     }
 
-    /// Returns false if the message should be suppressed; may reschedule
-    /// delayed preprepares itself.
-    bool apply_byzantine(const pbft::Message& m, NodeId to) {
-        const ByzantineBehavior& byz = node.options_.byzantine;
-        if (byz.mute) return false;
-        if (!std::holds_alternative<pbft::PrePrepare>(m)) return true;
-        if (byz.drop_preprepares) return false;
-        if (byz.preprepare_delay > Duration::zero()) {
-            node.sim_.schedule(byz.preprepare_delay, [this, m, to] {
-                if (node.alive_) {
-                    node.send_enveloped(to, Channel::kPbft, pbft::encode_message(m));
-                }
-            });
-            return false;
-        }
-        return true;
-    }
-
     Node& node;
 };
 
@@ -51,19 +39,27 @@ struct Node::LayerTransportAdapter final : zugchain::LayerTransport {
     explicit LayerTransportAdapter(Node& node) : node(node) {}
 
     void broadcast(const pbft::Request& request) override {
+        pbft::Request r = request;
+        if (node.adversary_ != nullptr && !node.adversary_->mutate_layer(r)) return;
         const Bytes body =
-            zugchain::encode_peer_request(zugchain::PeerRequest{request, /*forwarded=*/false});
-        for (std::uint32_t i = 0; i < node.options_.n; ++i) {
-            if (i == node.options_.id) continue;
-            node.send_enveloped(i, Channel::kLayer, body);
+            zugchain::encode_peer_request(zugchain::PeerRequest{r, /*forwarded=*/false});
+        const int copies =
+            node.adversary_ != nullptr && node.adversary_->replay_layer() ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+            for (std::uint32_t i = 0; i < node.options_.n; ++i) {
+                if (i == node.options_.id) continue;
+                node.send_enveloped(i, Channel::kLayer, body);
+            }
         }
     }
 
     void forward(NodeId to, const pbft::Request& request) override {
         if (to == node.options_.id) return;
+        pbft::Request r = request;
+        if (node.adversary_ != nullptr && !node.adversary_->mutate_layer(r)) return;
         node.send_enveloped(
             to, Channel::kLayer,
-            zugchain::encode_peer_request(zugchain::PeerRequest{request, /*forwarded=*/true}));
+            zugchain::encode_peer_request(zugchain::PeerRequest{r, /*forwarded=*/true}));
     }
 
     Node& node;
@@ -135,6 +131,13 @@ struct Node::AppShim final : pbft::Application {
 struct Node::ExportTransportAdapter final : exporter::ServerTransport {
     explicit ExportTransportAdapter(Node& node) : node(node) {}
     void to_data_center(DataCenterId dc, const exporter::ExportMessage& m) override {
+        if (node.adversary_ != nullptr) {
+            exporter::ExportMessage tampered = m;
+            if (!node.adversary_->mutate_export(tampered)) return;
+            node.send_enveloped(kDcEndpointBase + dc, Channel::kExport,
+                                exporter::encode_export_message(tampered));
+            return;
+        }
         node.send_enveloped(kDcEndpointBase + dc, Channel::kExport,
                             exporter::encode_export_message(m));
     }
@@ -181,6 +184,14 @@ Node::Node(NodeOptions options, sim::Simulation& sim, net::Network& network,
     executor_ = std::make_unique<sim::MeteredExecutor>(sim, options_.protocol_cores,
                                                        options_.rx_queue_limit);
     rx_gauge_ = memory_.gauge("rx-queue");
+
+    if (options_.byzantine.any()) {
+        adversary_ = std::make_unique<faults::Adversary>(options_.byzantine, options_.id,
+                                                         options_.n, sim_, *crypto_);
+        adversary_->set_pbft_emit([this](NodeId to, const pbft::Message& m) {
+            send_enveloped(to, Channel::kPbft, pbft::encode_message(m));
+        });
+    }
 
     pbft_transport_ = std::make_unique<PbftTransportAdapter>(*this);
     export_transport_ = std::make_unique<ExportTransportAdapter>(*this);
@@ -266,8 +277,10 @@ void Node::crash() noexcept {
     // The replica object survives until restart() rebuilds the stack, but
     // its timers must not: a request timer firing while the node is down
     // (or after rejoin, keyed to a long-gone view) would suspect a primary
-    // that was never slow.
+    // that was never slow. The same goes for the adversary's delayed sends.
     if (replica_) replica_->cancel_timers();
+    if (adversary_) adversary_->cancel_pending();
+    if (options_.auditor != nullptr) options_.auditor->note_crashed(options_.id);
     if (options_.trace != nullptr) {
         options_.trace->event(options_.id, sim_.now(), trace::Phase::kNodeDown, options_.id,
                               store_.head_height());
@@ -346,6 +359,7 @@ void Node::process_telegram(std::uint32_t source, const bus::Telegram& telegram)
     const Bytes payload = codec::encode_to_bytes(*record);
     const crypto::Digest payload_digest = crypto::sha256(payload);
     record_receive_time(payload_digest);
+    if (options_.auditor != nullptr) options_.auditor->note_received(options_.id, payload_digest);
     if (options_.trace != nullptr) {
         options_.trace->event(options_.id, sim_.now(), trace::Phase::kBusReceive,
                               trace::trace_id_from(payload_digest.data()), payload.size());
@@ -393,6 +407,7 @@ void Node::maybe_fabricate(const bus::Telegram& telegram) {
         fake.origin_seq = (1ull << 48) + fabricate_counter_++;
         fake.sig = crypto_->sign(fake.signing_bytes());
         layer_transport_->broadcast(fake);
+        if (adversary_) adversary_->stats_mut().fabricated += 1;
     }
 }
 
@@ -409,6 +424,7 @@ void Node::maybe_duplicate() {
     dup.origin = options_.id;
     dup.origin_seq = (1ull << 52) + fabricate_counter_++;
     dup.sig = crypto_->sign(dup.signing_bytes());
+    if (adversary_) adversary_->stats_mut().duplicates_proposed += 1;
     replica_->propose(dup);
 }
 
@@ -420,6 +436,7 @@ void Node::record_receive_time(const crypto::Digest& payload_digest) {
 
 void Node::record_logged(const pbft::Request& request) {
     const crypto::Digest digest = request.payload_digest();
+    if (options_.auditor != nullptr) options_.auditor->note_logged(options_.id, digest);
     const auto it = receive_times_.find(digest);
     if (it != receive_times_.end()) {
         const Duration lat = sim_.now() - it->second;

@@ -18,6 +18,8 @@
 #include "baseline/client.hpp"
 #include "bus/bus.hpp"
 #include "export/server.hpp"
+#include "faults/adversary.hpp"
+#include "faults/auditor.hpp"
 #include "metrics/stats.hpp"
 #include "net/network.hpp"
 #include "pbft/replica.hpp"
@@ -32,30 +34,11 @@ namespace zc::runtime {
 
 enum class Mode { kZugChain, kBaseline };
 
-/// Byzantine knobs (all off = honest node).
-struct ByzantineBehavior {
-    /// Probability per bus cycle of broadcasting a fabricated request
-    /// (Fig. 9's 25/75/100 % attack).
-    double fabricate_rate = 0.0;
-
-    /// Fabricated requests emitted per triggering cycle (>1 = DoS flood,
-    /// which the per-origin rate limiter must bound).
-    std::uint32_t fabricate_burst = 1;
-
-    /// Outgoing preprepares are delayed by this much (Fig. 9's faulty
-    /// primary delaying preprepares by 250 ms).
-    Duration preprepare_delay{0};
-
-    /// Outgoing preprepares are dropped entirely (censoring primary).
-    bool drop_preprepares = false;
-
-    /// Probability per bus cycle of re-proposing an already-logged payload
-    /// (faulty primary submitting duplicates; detected via Alg. 1 ln. 17).
-    double duplicate_rate = 0.0;
-
-    /// Drop all outgoing protocol traffic (fail-silent but receiving).
-    bool mute = false;
-};
+/// Byzantine knobs (all off = honest node). The legacy Fig. 9 fields
+/// (fabricate_rate, preprepare_delay, drop_preprepares, duplicate_rate,
+/// mute, …) are now the first block of faults::AdversaryConfig; the full
+/// safety-attack surface and named profiles live in src/faults.
+using ByzantineBehavior = faults::AdversaryConfig;
 
 struct NodeOptions {
     NodeId id = 0;
@@ -99,6 +82,11 @@ struct NodeOptions {
     trace::TraceSink* trace = nullptr;
 
     ByzantineBehavior byzantine;
+
+    /// Safety auditor taps (null = auditing off). The node reports bus
+    /// inputs, logged payloads and crashes; the auditor checks Alg. 1's
+    /// no-lost-input guarantee from them.
+    faults::SafetyAuditor* auditor = nullptr;
 };
 
 class Node final : public net::Endpoint, public bus::BusTap {
@@ -157,6 +145,9 @@ public:
     const metrics::LatencyRecorder& latency() const noexcept { return latency_; }
     const metrics::Series& latency_series() const noexcept { return latency_series_; }
     crypto::CryptoContext& crypto() noexcept { return *crypto_; }
+
+    /// The mutation pipeline of a compromised node (null when honest).
+    faults::Adversary* adversary() noexcept { return adversary_.get(); }
 
     std::uint64_t telegrams_seen() const noexcept { return telegrams_; }
     std::uint64_t rx_dropped() const noexcept { return executor_->dropped(); }
@@ -229,6 +220,7 @@ private:
     metrics::Series latency_series_;
 
     // Byzantine state
+    std::unique_ptr<faults::Adversary> adversary_;
     Rng byz_rng_;
     std::uint64_t fabricate_counter_ = 0;
     std::deque<Bytes> recent_payloads_;  // for the duplicate-proposer attack

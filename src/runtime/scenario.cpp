@@ -105,6 +105,28 @@ void Scenario::build() {
         directory_.register_key(exporter::dc_key_id(d), dc_keys.back().pub);
     }
 
+    // Safety auditor: an observer outside the deployment with its own key
+    // (drawn after the membership keys so node/dc key streams are
+    // unchanged) and read access to the shared key directory.
+    if (config_.auditor != nullptr) {
+        audit_crypto_ = std::make_unique<crypto::CryptoContext>(
+            *provider_, directory_, provider_->generate(keyrng), node_costs_, audit_meter_);
+        config_.auditor->configure(
+            config_.f, config_.block_size,
+            [this](std::uint32_t signer, BytesView message, const crypto::Signature& sig) {
+                return audit_crypto_->verify(signer, message, sig);
+            });
+        for (const auto& [id, byz] : config_.byzantine) {
+            if (byz.any()) config_.auditor->set_compromised(id);
+        }
+        if (config_.trace_sink != nullptr) {
+            config_.auditor->set_trace({config_.trace_sink, kNoNode, sim_.now_handle()});
+        }
+        if (config_.audit_period > Duration::zero()) {
+            sim_.schedule(config_.audit_period, [this] { audit_tick(); });
+        }
+    }
+
     // Network topology: full mesh of train Ethernet between nodes; LTE
     // between train and data centers; fast interconnect between DCs.
     net_.set_default_profile(config_.train_link);
@@ -148,6 +170,7 @@ void Scenario::build() {
         opts.rx_queue_limit = config_.rx_queue_limit;
         opts.delete_quorum = config_.delete_quorum;
         opts.trace = config_.trace_sink;
+        opts.auditor = config_.auditor;
         const auto byz = config_.byzantine.find(i);
         if (byz != config_.byzantine.end()) opts.byzantine = byz->second;
         if (config_.store_root) {
@@ -231,36 +254,63 @@ void Scenario::wire_state_transfer() {
 
 void Scenario::install_state_fetcher(Node& node) {
     // State transfer (paper §III-D discussion (ii)): a lagging replica
-    // fetches missing blocks from a peer and validates the chain against
-    // the checkpoint digest before adopting it. Modelled as a validated
-    // in-process copy; the bulk-transfer cost is charged to the CPU model
-    // (bandwidth cost is covered by the export experiments). Re-installed
-    // after a restart (the chain app is rebuilt).
+    // fetches missing blocks from a peer, stages them, and validates the
+    // staged range — contiguity, parent links, payload roots and the final
+    // head hash against the quorum-certified checkpoint digest — before
+    // anything touches the durable store or the layer's logged set. A peer
+    // serving a forged-but-hash-linked range is rejected at the digest
+    // check and the fetcher moves to the next peer. Modelled as a
+    // validated in-process copy; the bulk-transfer cost is charged to the
+    // CPU model (bandwidth cost is covered by the export experiments).
+    // Re-installed after a restart (the chain app is rebuilt).
     Node* self = &node;
     self->chain_app().set_state_fetcher([this, self](SeqNo seq, const crypto::Digest& state) {
         const Height target = seq / config_.block_size;
+        if (self->store().head_height() >= target) {
+            const chain::BlockHeader* h = self->store().header(target);
+            return h != nullptr && h->hash() == state;
+        }
+        const Height from = self->store().head_height() + 1;
         for (const auto& peer : nodes_) {
             if (peer.get() == self || !peer->alive()) continue;
             chain::BlockStore& src = peer->store();
             if (src.head_height() < target) continue;
-            const Height from = self->store().head_height() + 1;
             if (from < src.base_height()) continue;  // peer pruned too far
+
+            // A compromised peer may serve a forged-but-hash-linked range
+            // instead of its real chain (state-transfer poisoning).
+            std::vector<chain::Block> staged;
+            faults::Adversary* adv = peer->adversary();
+            if (adv != nullptr && adv->config().poison_state_transfer) {
+                staged = adv->forged_range(self->store().head_hash(), from, target);
+                adv->stats_mut().st_poisonings += 1;
+            } else {
+                staged = src.range(from, target);
+            }
+
+#ifdef ZC_BREAK_VALIDATION
+            // Pre-hardening behaviour, kept behind a build flag so CI can
+            // prove the safety auditor catches the resulting poisoning:
+            // blocks enter the durable store (and the layer's logged set)
+            // before the checkpoint-digest check runs.
             bool ok = true;
             std::uint64_t copied = 0;
-            for (const chain::Block& b : src.range(from, target)) {
+            for (chain::Block& b : staged) {
                 self->crypto().charge_hash(b.size_bytes());
-                chain::Block copy = b;
+                std::vector<crypto::Digest> digests;
+                for (const chain::LoggedRequest& req : b.requests) {
+                    digests.push_back(crypto::sha256(req.payload));
+                }
                 try {
-                    self->store().append(std::move(copy));
+                    self->store().append(std::move(b));
                 } catch (const std::invalid_argument&) {
                     ok = false;
                     break;
                 }
                 copied += 1;
-                if (self->layer() != nullptr) {
-                    for (const chain::LoggedRequest& req : b.requests) {
-                        self->layer()->mark_logged(crypto::sha256(req.payload));
-                    }
+                for (const crypto::Digest& d : digests) {
+                    if (self->layer() != nullptr) self->layer()->mark_logged(d);
+                    if (config_.auditor != nullptr) config_.auditor->note_logged(self->id(), d);
                 }
             }
             if (ok && self->store().head_height() >= target &&
@@ -273,6 +323,50 @@ void Scenario::install_state_fetcher(Node& node) {
                 }
                 return true;
             }
+#else
+            // Stage-then-adopt: validate the whole range incrementally
+            // from our head up to the checkpoint digest, then append.
+            bool ok = staged.size() == target - from + 1;
+            crypto::Digest prev = self->store().head_hash();
+            Height expect = from;
+            for (const chain::Block& b : staged) {
+                if (!ok) break;
+                self->crypto().charge_hash(b.size_bytes());
+                ok = b.header.height == expect && b.header.parent_hash == prev &&
+                     b.payload_valid();
+                prev = b.hash();
+                expect += 1;
+            }
+            if (!ok || prev != state) {
+                state_transfer_rejected_ += 1;
+                ZC_WARN("scenario",
+                        "node {} rejected state-transfer range [{}, {}] from node {}",
+                        self->id(), from, target, peer->id());
+                if (config_.trace_sink != nullptr) {
+                    config_.trace_sink->event(self->id(), sim_.now(),
+                                              trace::Phase::kStateTransferRejected, seq,
+                                              peer->id());
+                }
+                continue;  // try the next peer
+            }
+            std::uint64_t copied = 0;
+            for (chain::Block& b : staged) {
+                for (const chain::LoggedRequest& req : b.requests) {
+                    const crypto::Digest d = crypto::sha256(req.payload);
+                    if (self->layer() != nullptr) self->layer()->mark_logged(d);
+                    if (config_.auditor != nullptr) config_.auditor->note_logged(self->id(), d);
+                }
+                self->store().append(std::move(b));
+                copied += 1;
+            }
+            state_transfer_fetches_ += 1;
+            state_transfer_blocks_ += copied;
+            if (config_.trace_sink != nullptr) {
+                config_.trace_sink->event(self->id(), sim_.now(), trace::Phase::kStateTransfer,
+                                          seq, copied);
+            }
+            return true;
+#endif
         }
         return false;
     });
@@ -378,6 +472,36 @@ void Scenario::sample_memory() {
         for (auto& node : nodes_) node->memory().sample();
     }
     sim_.schedule(config_.mem_sample_period, [this] { sample_memory(); });
+}
+
+void Scenario::run_audit() {
+    if (config_.auditor == nullptr) return;
+    std::vector<faults::ReplicaView> replicas;
+    replicas.reserve(nodes_.size());
+    for (auto& node : nodes_) {
+        faults::ReplicaView view;
+        view.id = node->id();
+        view.alive = node->alive();
+        view.compromised = node->adversary() != nullptr;
+        view.store = &node->store();
+        view.layer = node->layer();
+        replicas.push_back(view);
+    }
+    std::vector<faults::DataCenterView> dcs;
+    dcs.reserve(dcs_.size());
+    for (std::size_t d = 0; d < dcs_.size(); ++d) {
+        faults::DataCenterView view;
+        view.id = static_cast<DataCenterId>(d);
+        view.store = &dcs_[d]->dc().store();
+        view.proof = dcs_[d]->dc().last_proof();
+        dcs.push_back(view);
+    }
+    config_.auditor->audit(replicas, dcs);
+}
+
+void Scenario::audit_tick() {
+    run_audit();
+    sim_.schedule(config_.audit_period, [this] { audit_tick(); });
 }
 
 void Scenario::run() {

@@ -132,6 +132,12 @@ struct ScenarioConfig {
     health::HealthMonitor* health_monitor = nullptr;
     health::TimeSeries* health_timeseries = nullptr;
     std::uint32_t timeseries_sample_cycles = 16;  ///< used without a monitor
+
+    /// Safety auditor (null = off). The scenario wires node taps, marks
+    /// nodes with Byzantine knobs as compromised, runs a periodic audit
+    /// pass every `audit_period`, and `run_audit()` does the final one.
+    faults::SafetyAuditor* auditor = nullptr;
+    Duration audit_period{seconds(5)};
 };
 
 struct NodeReport {
@@ -189,6 +195,14 @@ public:
     std::uint64_t state_transfer_fetches() const noexcept { return state_transfer_fetches_; }
     std::uint64_t state_transfer_blocks() const noexcept { return state_transfer_blocks_; }
 
+    /// Peer block ranges rejected by staged state-transfer validation
+    /// (hash-link or checkpoint-digest mismatch — a poisoning attempt).
+    std::uint64_t state_transfer_rejected() const noexcept { return state_transfer_rejected_; }
+
+    /// One audit pass over all replicas and data centers, feeding the
+    /// auditor's report (no-op without a configured auditor).
+    void run_audit();
+
     exporter::DataCenter& data_center(std::size_t i);
     sim::Simulation& sim() noexcept { return sim_; }
     net::Network& network() noexcept { return net_; }
@@ -205,6 +219,7 @@ private:
     void start_measuring();
     void sample_memory();
     void sample_health();
+    void audit_tick();
     health::NodeSample snapshot_node(Node& node) const;
 
     ScenarioConfig config_;
@@ -229,6 +244,12 @@ private:
     Duration health_period_{0};
     std::uint64_t state_transfer_fetches_ = 0;
     std::uint64_t state_transfer_blocks_ = 0;
+    std::uint64_t state_transfer_rejected_ = 0;
+
+    /// The auditor verifies signatures with its own metered context (an
+    /// observer outside the deployment; its CPU is not a node's CPU).
+    crypto::WorkMeter audit_meter_;
+    std::unique_ptr<crypto::CryptoContext> audit_crypto_;
 
     // measurement window bookkeeping
     bool measuring_ = false;

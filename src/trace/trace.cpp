@@ -47,6 +47,8 @@ constexpr PhaseInfo kPhaseInfo[kPhaseCount] = {
     {"link_down", "runtime", 5},
     {"link_up", "runtime", 5},
     {"batch_proposed", "pbft", 2},
+    {"state_transfer_rejected", "runtime", 5},
+    {"audit_violation", "runtime", 5},
 };
 
 constexpr TimePoint kUnset{-1};

@@ -81,9 +81,12 @@ enum class Phase : std::uint8_t {
     kLinkUp,
     // batch ordering (arg = number of requests in the flushed batch)
     kBatchProposed,
+    // faults / safety (arg = peer id / violation kind)
+    kStateTransferRejected,
+    kAuditViolation,
 };
 
-inline constexpr unsigned kPhaseCount = static_cast<unsigned>(Phase::kBatchProposed) + 1;
+inline constexpr unsigned kPhaseCount = static_cast<unsigned>(Phase::kAuditViolation) + 1;
 
 const char* phase_name(Phase p) noexcept;
 

@@ -39,6 +39,8 @@ void ChainApp::log(const pbft::Request& request, NodeId origin, SeqNo seq) {
     entry.payload = request.payload;
     entry.origin = origin;
     entry.seq = seq;
+    entry.origin_seq = request.origin_seq;
+    entry.sig = request.sig;
     // A logged trim agreement is executed at the next block boundary so
     // all replicas trim at the same deterministic point; the agreement
     // itself stays on the chain as evidence.

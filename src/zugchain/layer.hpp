@@ -154,6 +154,12 @@ public:
         return logged_.contains(payload_digest);
     }
 
+    /// True if the payload is still tracked as open (received ⇒ logged ∨
+    /// open is Alg. 1's invariant; the safety auditor checks it).
+    bool is_open(const crypto::Digest& payload_digest) const {
+        return open_.contains(payload_digest);
+    }
+
     /// Marks a payload as logged without a DECIDE — used after state
     /// transfer, when blocks obtained from peers contain requests this
     /// node never saw decided. Clears any matching open entry.

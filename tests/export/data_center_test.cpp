@@ -252,5 +252,64 @@ TEST_F(DcFixture, CorruptBlocksFromChosenReplicaCauseRetry) {
     EXPECT_NE(chosen_full(), full);
 }
 
+TEST_F(DcFixture, UnderQuorumProofReplyRejected) {
+    dc->start_export();
+    const NodeId full = chosen_full();
+    // 2f+1 checkpoint copies, all from one signer: the distinct-signer
+    // quorum must reject the proof and the read never completes.
+    auto degenerate = [&](NodeId replica) {
+        ReadReply r;
+        r.replica = replica;
+        r.proof = proof_at(8);
+        const pbft::Checkpoint only = r.proof.messages[0];
+        r.proof.messages = {only, only, only};
+        if (replica == full) r.blocks = train_chain.range(1, 8);
+        crypto::WorkMeter m;
+        crypto::CryptoContext ctx(provider, directory, replica_keys[replica], costs, m);
+        r.sig = ctx.sign(r.signing_bytes());
+        return r;
+    };
+    for (NodeId i = 0; i < 4; ++i) dc->on_message(ExportMessage{degenerate(i)});
+
+    EXPECT_GE(dc->stats().invalid_messages, 4u);
+    EXPECT_EQ(dc->store().head_height(), 0u);
+    EXPECT_TRUE(transport.replica_msgs<DeleteCmd>().empty());
+}
+
+TEST_F(DcFixture, ForgedBlockRangeRejectedBeforeStore) {
+    // Forged-but-hash-linked blocks under a genuine proof only fail the
+    // final checkpoint-digest comparison — which must run before any
+    // block reaches the permanent store (stage-then-adopt).
+    chain::BlockStore forged;
+    for (int i = 0; i < 8; ++i) {
+        const Height h = forged.head_height() + 1;
+        std::vector<chain::LoggedRequest> reqs(1);
+        reqs[0].payload = to_bytes("forged" + std::to_string(h));
+        forged.append(chain::Block::build(h, forged.head_hash(), static_cast<std::int64_t>(h),
+                                          std::move(reqs)));
+    }
+
+    dc->start_export();
+    const NodeId full = chosen_full();
+    for (NodeId i = 0; i < 4; ++i) {
+        ReadReply r = reply_from(i, 8, /*with_blocks=*/false);
+        if (i == full) {
+            r.blocks = forged.range(1, 8);
+            crypto::WorkMeter m;
+            crypto::CryptoContext ctx(provider, directory, replica_keys[i], costs, m);
+            r.sig = ctx.sign(r.signing_bytes());
+        }
+        dc->on_message(ExportMessage{r});
+    }
+
+    EXPECT_GE(dc->stats().blocks_rejected, 8u);
+    EXPECT_EQ(dc->store().head_height(), 0u);
+    EXPECT_TRUE(transport.replica_msgs<DeleteCmd>().empty());
+    // The round retries against a different full replica.
+    EXPECT_GE(dc->stats().retries, 1u);
+    sim.run_until(seconds(3));
+    EXPECT_NE(chosen_full(), full);
+}
+
 }  // namespace
 }  // namespace zc::exporter

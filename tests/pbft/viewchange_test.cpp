@@ -144,5 +144,118 @@ TEST(ViewChangeRecovery, MultipleConsecutiveFailovers) {
     }
 }
 
+// Helper: a checkpoint message for (seq, state) signed by `signer`.
+Checkpoint make_ckpt(Cluster& c, NodeId signer, SeqNo seq, const crypto::Digest& state) {
+    Checkpoint m;
+    m.seq = seq;
+    m.state = state;
+    m.replica = signer;
+    m.sig = c.crypto_of(signer).sign(m.signing_bytes());
+    return m;
+}
+
+TEST(ProofHardening, DuplicateSignerCheckpointProofRejected) {
+    Cluster c;
+    const crypto::Digest state{};
+    // 2f+1 checkpoint copies but one distinct signer: an equivocating
+    // replica must not vouch for a stable checkpoint on its own.
+    CheckpointProof proof;
+    proof.seq = 10;
+    proof.state = state;
+    for (int i = 0; i < 3; ++i) proof.messages.push_back(make_ckpt(c, 2, 10, state));
+
+    ViewChange vc;
+    vc.new_view = 1;
+    vc.last_stable = 10;
+    vc.stable_proof = proof;
+    vc.replica = 2;
+    vc.sig = c.crypto_of(2).sign(vc.signing_bytes());
+    c.replica(1).on_message(2, Message{vc});
+    EXPECT_GE(c.replica(1).stats().invalid_messages, 1u);
+    EXPECT_EQ(c.replica(1).view(), 0u);
+}
+
+TEST(ProofHardening, OversizeCheckpointProofRejected) {
+    Cluster c;
+    const crypto::Digest state{};
+    // Every signature is valid and 4 distinct signers exceed the quorum,
+    // but 5 messages for 4 replicas is impossible for an honest proof.
+    CheckpointProof proof;
+    proof.seq = 10;
+    proof.state = state;
+    for (NodeId signer : {0u, 1u, 2u, 3u, 0u}) {
+        proof.messages.push_back(make_ckpt(c, signer, 10, state));
+    }
+
+    ViewChange vc;
+    vc.new_view = 1;
+    vc.last_stable = 10;
+    vc.stable_proof = proof;
+    vc.replica = 2;
+    vc.sig = c.crypto_of(2).sign(vc.signing_bytes());
+    c.replica(1).on_message(2, Message{vc});
+    EXPECT_GE(c.replica(1).stats().invalid_messages, 1u);
+    EXPECT_EQ(c.replica(1).view(), 0u);
+}
+
+TEST(ProofHardening, DuplicateSignerPreparedProofRejected) {
+    Cluster c;
+    const Request r = c.make_request(3, 1, to_bytes("under-quorum"));
+    PrePrepare pp;
+    pp.view = 0;
+    pp.seq = 1;
+    pp.requests = {r};
+    pp.req_digest = PrePrepare::batch_digest(pp.requests);
+    pp.primary = 0;
+    pp.sig = c.crypto_of(0).sign(pp.signing_bytes());
+
+    // 2f prepares, both from the same backup: one distinct signer.
+    PreparedProof proof;
+    proof.preprepare = pp;
+    for (int i = 0; i < 2; ++i) {
+        Prepare p;
+        p.view = 0;
+        p.seq = 1;
+        p.req_digest = pp.req_digest;
+        p.replica = 2;
+        p.sig = c.crypto_of(2).sign(p.signing_bytes());
+        proof.prepares.push_back(p);
+    }
+
+    ViewChange vc;
+    vc.new_view = 1;
+    vc.last_stable = 0;
+    vc.prepared.push_back(proof);
+    vc.replica = 2;
+    vc.sig = c.crypto_of(2).sign(vc.signing_bytes());
+    c.replica(1).on_message(2, Message{vc});
+    EXPECT_GE(c.replica(1).stats().invalid_messages, 1u);
+    EXPECT_EQ(c.replica(1).view(), 0u);
+}
+
+TEST(ProofHardening, MisalignedCheckpointRejected) {
+    Cluster c;
+    // Checkpoints only exist at multiples of the interval (10 here); a
+    // validly signed one at seq 7 is fabricated by construction.
+    c.replica(1).on_message(2, Message{make_ckpt(c, 2, 7, crypto::Digest{})});
+    EXPECT_GE(c.replica(1).stats().invalid_messages, 1u);
+}
+
+TEST(ProofHardening, InvalidViewChangeDoesNotPoisonDedup) {
+    Cluster c;
+    // A rejected view change must not occupy the sender's dedup slot:
+    // the genuine retry still counts toward the join rule and the
+    // view-1 primary still assembles its NewView.
+    ViewChange bad = make_vc(c, 2, 1);
+    bad.sig = c.crypto_of(3).sign(bad.signing_bytes());  // invalid signature
+    c.replica(1).on_message(2, Message{bad});
+    EXPECT_GE(c.replica(1).stats().invalid_messages, 1u);
+
+    c.replica(1).on_message(2, Message{make_vc(c, 2, 1)});
+    c.replica(1).on_message(3, Message{make_vc(c, 3, 1)});
+    c.sim.run_until(seconds(1));
+    EXPECT_EQ(c.replica(1).view(), 1u);
+}
+
 }  // namespace
 }  // namespace zc::pbft

@@ -7,6 +7,7 @@
 //                [--export-timeout-s N]
 //                [--crash-primary-at-s N] [--crash T:NODE[:RESTART_AFTER]]
 //                [--flap T:DUR:lte|nodeID] [--fabricator NODE]
+//                [--adversary PROFILE:NODE] [--audit]
 //                [--store-dir DIR] [--crypto fast|ed25519]
 //                [--trace FILE] [--metrics FILE] [--json]
 //                [--health FILE] [--timeseries FILE] [--fail-on-alarm]
@@ -21,10 +22,13 @@
 //                                                   # restart it 4 s later
 //   zugchain_sim --dcs 1 --export-at-s 12 --export-timeout-s 5 \
 //                --flap 10:15:lte --duration-s 60   # export across an outage
+//   zugchain_sim --adversary equivocator:1 --audit  # compromise node 1,
+//                                                   # gate on the safety audit
 //
 // Exit codes: 0 ok, 1 chains inconsistent, 2 usage, 3 health alarm
 // (with --fail-on-alarm; an alarm that fired and cleared — e.g. a crash
-// followed by a successful rejoin — does not fail the run).
+// followed by a successful rejoin — does not fail the run), 4 safety
+// violations reported by the --audit auditor (dominates 1 and 3).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "faults/auditor.hpp"
+#include "faults/profiles.hpp"
 #include "health/flight_recorder.hpp"
 #include "health/monitor.hpp"
 #include "health/timeseries.hpp"
@@ -53,6 +59,7 @@ struct Args {
     std::string timeseries_file;
     bool fail_on_alarm = false;
     bool json = false;
+    bool audit = false;
 
     static void usage(const char* argv0) {
         std::fprintf(stderr,
@@ -62,7 +69,8 @@ struct Args {
                      "          [--dcs N] [--export-at-s S] [--export-timeout-s S]\n"
                      "          [--crash-primary-at-s S]\n"
                      "          [--crash T:NODE[:RESTART_AFTER]] [--flap T:DUR:lte|nodeID]\n"
-                     "          [--fabricator NODE] [--store-dir DIR] [--crypto fast|ed25519]\n"
+                     "          [--fabricator NODE] [--adversary PROFILE:NODE] [--audit]\n"
+                     "          [--store-dir DIR] [--crypto fast|ed25519]\n"
                      "          [--trace FILE] [--metrics FILE] [--json]\n"
                      "          [--health FILE] [--timeseries FILE] [--fail-on-alarm]\n",
                      argv0);
@@ -167,6 +175,26 @@ struct Args {
                 args.cfg.link_flaps.push_back(flap);
             } else if (flag == "--fabricator") {
                 args.fabricator = std::atoi(need_value(i));
+            } else if (flag == "--adversary") {
+                // PROFILE:NODE, e.g. equivocator:1. Repeatable.
+                const auto parts = split_spec(need_value(i));
+                if (parts.size() != 2) {
+                    std::fprintf(stderr, "%s: --adversary wants PROFILE:NODE\n", argv[0]);
+                    usage(argv[0]);
+                }
+                const auto profile = faults::profile_config(parts[0]);
+                if (!profile) {
+                    std::fprintf(stderr, "%s: unknown adversary profile: %s (known:", argv[0],
+                                 parts[0].c_str());
+                    for (const std::string& name : faults::profile_names()) {
+                        std::fprintf(stderr, " %s", name.c_str());
+                    }
+                    std::fprintf(stderr, ")\n");
+                    usage(argv[0]);
+                }
+                args.cfg.byzantine[static_cast<NodeId>(std::atoi(parts[1].c_str()))] = *profile;
+            } else if (flag == "--audit") {
+                args.audit = true;
             } else if (flag == "--store-dir") {
                 args.cfg.store_root = need_value(i);  // DIR/node-<id> per node
             } else if (flag == "--crypto") {
@@ -210,7 +238,9 @@ void write_text_file(const std::string& path, const std::string& content) {
     out.write(content.data(), static_cast<std::streamsize>(content.size()));
 }
 
-void print_json_report(const Args& args, const runtime::ScenarioReport& r, bool consistent) {
+void print_json_report(const Args& args, const runtime::ScenarioReport& r, bool consistent,
+                       const faults::SafetyAuditor* auditor, std::uint64_t attack_attempts,
+                       std::uint64_t st_rejected) {
     std::printf("{");
     std::printf("\"mode\":\"%s\",\"n\":%u,\"f\":%u,\"seed\":%llu,"
                 "\"cycle_ms\":%lld,\"payload\":%zu,\"block_size\":%llu,\"duration_s\":%.0f,",
@@ -242,7 +272,16 @@ void print_json_report(const Args& args, const runtime::ScenarioReport& r, bool 
                     static_cast<unsigned long long>(n.rx_dropped),
                     static_cast<unsigned long long>(n.view_changes));
     }
-    std::printf("],\"consistent\":%s}\n", consistent ? "true" : "false");
+    std::printf("],\"consistent\":%s", consistent ? "true" : "false");
+    std::printf(",\"attack_attempts\":%llu,\"state_transfer_rejected\":%llu",
+                static_cast<unsigned long long>(attack_attempts),
+                static_cast<unsigned long long>(st_rejected));
+    if (auditor != nullptr) {
+        std::printf(",\"audit\":%s", auditor->report().json().c_str());
+    } else {
+        std::printf(",\"audit\":null");
+    }
+    std::printf("}\n");
 }
 
 }  // namespace
@@ -288,6 +327,12 @@ int main(int argc, char** argv) {
     }
     if (fan.sink_count() > 0) args.cfg.trace_sink = &fan;
 
+    // Safety auditor: end-of-run (and periodic) checks of chain-prefix
+    // agreement, Alg. 1's no-lost-input guarantee, origin signatures,
+    // store hash linkage and proof-covered exports.
+    faults::SafetyAuditor auditor;
+    if (args.audit) args.cfg.auditor = &auditor;
+
     if (!args.json) {
         std::printf("zugchain_sim: mode=%s n=%u f=%u cycle=%lld ms payload=%zu block=%llu "
                     "duration=%.0f s seed=%llu crypto=%s dcs=%u\n",
@@ -308,8 +353,18 @@ int main(int argc, char** argv) {
     }
     scenario.run();
     if (args.cfg.dc_count > 0) scenario.run_for(seconds(60));
+    if (args.audit) scenario.run_audit();  // final end-of-run pass
 
     const runtime::ScenarioReport r = scenario.report();
+
+    // Attack attempts across all compromised nodes (acceptance gate: an
+    // adversary profile that never fires is a misconfigured scenario).
+    std::uint64_t attack_attempts = 0;
+    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+        if (scenario.node(i).adversary() != nullptr) {
+            attack_attempts += scenario.node(i).adversary()->stats().attempts();
+        }
+    }
 
     // Chain consistency check across live nodes.
     bool consistent = true;
@@ -360,15 +415,25 @@ int main(int argc, char** argv) {
         write_text_file(args.metrics_file, registry.json());
     }
 
-    // Exit codes: inconsistency dominates; an uncleared alarm turns an
-    // otherwise clean run into exit 3 when --fail-on-alarm is set. Alarms
-    // that latched and then cleared (crash followed by a successful
-    // rejoin) count as recovered, not failed.
+    // Exit codes: safety violations dominate everything (a juridical
+    // recorder whose evidence is wrong is worse than one that is merely
+    // inconsistent or unhealthy); then inconsistency; then an uncleared
+    // alarm (with --fail-on-alarm). Alarms that latched and then cleared
+    // (crash followed by a successful rejoin) count as recovered.
     int rc = consistent ? 0 : 1;
     if (rc == 0 && args.fail_on_alarm && monitor.any_active()) rc = 3;
+    if (args.audit && !auditor.report().clean()) {
+        rc = 4;
+        // The black box is the evidence trail for a violated run.
+        if (health_on) {
+            std::fprintf(stderr, "safety violations detected; flight recorder follows\n%s\n",
+                         recorder.json().c_str());
+        }
+    }
 
     if (args.json) {
-        print_json_report(args, r, consistent);
+        print_json_report(args, r, consistent, args.audit ? &auditor : nullptr, attack_attempts,
+                          scenario.state_transfer_rejected());
         return rc;
     }
 
@@ -445,6 +510,39 @@ int main(int argc, char** argv) {
         }
         std::printf("flight recorder         : %zu events retained, %llu dropped\n",
                     recorder.size(), static_cast<unsigned long long>(recorder.dropped()));
+    }
+
+    if (!args.cfg.byzantine.empty()) {
+        std::printf("\n-- adversary --\n");
+        for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+            const faults::Adversary* adv = scenario.node(i).adversary();
+            if (adv == nullptr) continue;
+            const faults::AdversaryStats& st = adv->stats();
+            std::printf("node %zu: %llu attack attempts (equivocations %llu, tampered %llu, "
+                        "replays %llu, forged blocks %llu, poisonings %llu)\n",
+                        i, static_cast<unsigned long long>(st.attempts()),
+                        static_cast<unsigned long long>(st.equivocations),
+                        static_cast<unsigned long long>(st.digests_flipped + st.sigs_stripped),
+                        static_cast<unsigned long long>(st.replays),
+                        static_cast<unsigned long long>(st.forged_blocks),
+                        static_cast<unsigned long long>(st.st_poisonings));
+        }
+        std::printf("state-transfer ranges rejected: %llu\n",
+                    static_cast<unsigned long long>(scenario.state_transfer_rejected()));
+    }
+
+    if (args.audit) {
+        const faults::AuditReport& audit = auditor.report();
+        std::printf("\n-- safety audit --\n");
+        std::printf("audit passes            : %llu (%llu checks)\n",
+                    static_cast<unsigned long long>(audit.audits),
+                    static_cast<unsigned long long>(audit.checks));
+        std::printf("violations              : %zu\n", audit.violations.size());
+        for (const faults::Violation& v : audit.violations) {
+            std::printf("  %s at %s%u height %llu: %s\n", faults::violation_name(v.kind),
+                        v.where >= 100 ? "dc-" : "node-", v.where >= 100 ? v.where - 100 : v.where,
+                        static_cast<unsigned long long>(v.height), v.detail.c_str());
+        }
     }
 
     std::printf("\nchains consistent across live nodes: %s\n", consistent ? "yes" : "NO");
