@@ -1,0 +1,129 @@
+// Extension experiment: fleet-scale sharded recording (src/fleet). The
+// paper deploys one consist; a railway operator runs a timetable of them,
+// all exporting into the same juridical data centers. This bench sweeps
+// the fleet size and finishes with the acceptance configuration: 100
+// trains, >= 1 million telegrams end-to-end, per-shard safety audits
+// clean and zero never-cleared alarms — all on one deterministic virtual
+// clock (same seed => byte-identical BENCH json, which CI cmp's).
+//
+//   scale_fleet [--quick]     # CI: small fleets only, seconds not minutes
+//
+// Operating point: 16 ms bus cycle with request batching (10/2 ms) is the
+// fastest cadence the modeled hardware sustains fleet-wide; 2 trains per
+// LTE cell keeps export read bursts short enough that the single-NIC
+// egress model never starves PBFT into soft timeouts (at 8 trains/cell a
+// shard's consensus audibly stalls during export rounds — a real modeled
+// capacity cliff, not a bug).
+//
+// Exit code 1 if any non-chaos run ends unclean (audit violation, stuck
+// alarm, cross-shard collision or a short telegram count).
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "fleet/fleet.hpp"
+
+using namespace zc;
+using namespace zc::bench;
+
+namespace {
+
+struct FleetPoint {
+    std::uint32_t trains;
+    Duration duration;
+};
+
+fleet::FleetConfig fleet_config(std::uint32_t trains, Duration duration) {
+    fleet::FleetConfig cfg;
+    cfg.trains = trains;
+    cfg.seed = 1;
+    cfg.train = paper_config();
+    cfg.train.bus_cycle = milliseconds(16);
+    cfg.train.payload_size = 256;
+    cfg.train.batch_max_requests = 10;
+    cfg.train.batch_linger = microseconds(2000);
+    cfg.dc_count = 2;
+    cfg.trains_per_cell = 2;
+    cfg.export_period = seconds(5);
+    cfg.warmup = seconds(2);
+    cfg.duration = duration;
+    cfg.audit = true;
+    return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+    print_header(quick ? "Fleet scaling (quick): shards -> shared data centers"
+                       : "Fleet scaling: 10..100 trains -> shared data centers");
+    std::printf("%7s %10s | %10s %10s | %9s %8s | %7s %6s %6s\n", "trains", "duration",
+                "telegrams", "blocks", "archived", "exports", "ingestQ", "stuck", "audit");
+
+    std::vector<FleetPoint> points;
+    if (quick) {
+        points = {{2, seconds(15)}, {4, seconds(15)}, {8, seconds(20)}};
+    } else {
+        // The last point is the acceptance run: 100 trains x 167 s at the
+        // 16 ms cycle ~ 1.04 M telegrams recorded end-to-end.
+        points = {{10, seconds(30)}, {25, seconds(30)}, {50, seconds(30)}, {100, seconds(165)}};
+    }
+
+    int rc = 0;
+    std::vector<BenchRow> rows;
+    for (const FleetPoint& p : points) {
+        fleet::Fleet fleet(fleet_config(p.trains, p.duration));
+        fleet.run();
+        const fleet::FleetReport r = fleet.report();
+
+        const bool is_acceptance = !quick && p.trains == 100;
+        const bool clean = r.audit_violations == 0 && r.alarms.total_never_cleared == 0 &&
+                           r.cross_shard_collisions == 0 && r.exports_failed == 0;
+        if (!clean) rc = 1;
+        if (is_acceptance && r.logged_sum < 1'000'000) {
+            std::printf("ACCEPTANCE FAIL: %llu telegrams < 1M\n",
+                        static_cast<unsigned long long>(r.logged_sum));
+            rc = 1;
+        }
+
+        std::printf("%7u %9.0fs | %10llu %10llu | %9llu %8llu | %7llu %6llu %6llu%s\n",
+                    r.trains, to_seconds(p.duration),
+                    static_cast<unsigned long long>(r.logged_sum),
+                    static_cast<unsigned long long>(r.head_sum),
+                    static_cast<unsigned long long>(r.exported_unique),
+                    static_cast<unsigned long long>(r.exports_completed),
+                    static_cast<unsigned long long>(r.ingest_dropped),
+                    static_cast<unsigned long long>(r.alarms.total_never_cleared),
+                    static_cast<unsigned long long>(r.audit_violations),
+                    clean ? "" : "  <-- UNCLEAN");
+
+        BenchRow row;
+        row.config = "fleet trains=" + std::to_string(r.trains) +
+                     " duration=" + std::to_string(static_cast<long long>(to_seconds(p.duration))) +
+                     "s";
+        row.m.logged = r.logged_sum;
+        row.m.blocks = r.head_sum;
+        row.extra = {
+            {"trains", static_cast<double>(r.trains)},
+            {"elapsed_s", r.elapsed_s},
+            {"exported_unique", static_cast<double>(r.exported_unique)},
+            {"exported_duplicates", static_cast<double>(r.exported_duplicates)},
+            {"exports_completed", static_cast<double>(r.exports_completed)},
+            {"exports_failed", static_cast<double>(r.exports_failed)},
+            {"ingest_dropped", static_cast<double>(r.ingest_dropped)},
+            {"alarms_never_cleared", static_cast<double>(r.alarms.total_never_cleared)},
+            {"audit_violations", static_cast<double>(r.audit_violations)},
+            {"cross_shard_collisions", static_cast<double>(r.cross_shard_collisions)},
+        };
+        rows.push_back(std::move(row));
+    }
+    write_bench_json("scale_fleet", rows);
+
+    print_footnote(
+        "\nExpected shape: telegram throughput scales linearly in fleet size (shards\n"
+        "are independent consensus domains sharing only the DC frontend); archived\n"
+        "counts trail the chain heads by at most one export period; the bounded\n"
+        "ingest tier sheds nothing at the provisioned 8-core/4096-slot frontend.\n"
+        "All runs must end audit-clean with zero never-cleared alarms.");
+    return rc;
+}

@@ -13,6 +13,7 @@ int main() {
     std::printf("%6s %4s | %12s %12s | %10s | %12s | %10s\n", "n", "f", "lat ms", "p99 ms",
                 "cpu %400", "net util %", "blocks");
 
+    std::vector<BenchRow> rows;
     for (const auto& [n, f] : {std::pair<unsigned, unsigned>{4, 1}, {7, 2}, {10, 3}, {13, 4}}) {
         ScenarioConfig cfg = paper_config();
         cfg.n = n;
@@ -27,7 +28,13 @@ int main() {
                     r.latency_ms.empty() ? -1.0 : r.latency_ms.percentile(0.99),
                     r.nodes[0].cpu_cores * 100.0, r.mean_egress_utilization * 100.0,
                     static_cast<unsigned long long>(r.blocks));
+
+        BenchRow row;
+        row.config = "zugchain n=" + std::to_string(n) + " f=" + std::to_string(f);
+        row.m = measure(r);
+        rows.push_back(std::move(row));
     }
+    write_bench_json("scale_nodes", rows);
 
     print_footnote(
         "\nExpected shape: latency grows mildly (quorum waits stay one round trip);\n"

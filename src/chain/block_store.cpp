@@ -328,6 +328,34 @@ void BlockStore::prune_to(Height base, Bytes evidence) {
     trace_.event(trace::Phase::kPrune, base, stored_bytes_);
 }
 
+void BlockStore::rebase(Block base_block, Bytes evidence) {
+    const Height base = base_block.header.height;
+    if (base <= head_height_) throw std::invalid_argument("rebase not above head");
+
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        std::size_t bytes = sizeof(BlockHeader);
+        if (it->second.body_present) bytes += body_bytes(it->second.block);
+        account(-static_cast<std::int64_t>(bytes));
+        if (dir_) std::filesystem::remove(block_path(it->first));
+        it = entries_.erase(it);
+    }
+
+    PruneAnchor anchor;
+    anchor.base_height = base;
+    anchor.base_hash = base_block.hash();
+    anchor.evidence = std::move(evidence);
+
+    head_hash_ = base_block.hash();
+    head_height_ = base;
+    base_height_ = base;
+    account(static_cast<std::int64_t>(base_block.size_bytes()));
+    if (dir_) persist(base_block);
+    entries_.emplace(base, Entry{std::move(base_block), true});
+    anchor_ = std::move(anchor);
+    if (dir_) write_file(*dir_ / "anchor.bin", codec::encode_to_bytes(*anchor_));
+    trace_.event(trace::Phase::kPrune, base, stored_bytes_);
+}
+
 void BlockStore::trim_bodies_to(Height height) {
     for (auto& [h, entry] : entries_) {
         if (h > height || !entry.body_present) continue;

@@ -99,6 +99,16 @@ public:
 
     const std::optional<PruneAnchor>& anchor() const noexcept { return anchor_; }
 
+    /// Re-anchors this store on a peer's prune base: discards every
+    /// retained block (they are all below `base_block`), installs
+    /// `base_block` as the new base == head, and records the delete
+    /// certificate as the prune anchor. For a rejoining replica whose
+    /// peers pruned past its head — the missing prefix is archived at the
+    /// data centers and `evidence` carries the delete-quorum signatures
+    /// attesting exactly that. Throws std::invalid_argument unless
+    /// `base_block` lies strictly above the current head.
+    void rebase(Block base_block, Bytes evidence);
+
     /// Drops request bodies for heights <= `height`, keeping headers
     /// (emergency space reclamation; must itself be agreed via consensus,
     /// which the caller is responsible for).

@@ -1,0 +1,51 @@
+#include "fleet/chaos.hpp"
+
+#include <algorithm>
+
+namespace zc::fleet {
+
+FleetChaos FleetChaos::staggered(std::uint32_t trains, std::uint32_t dc_count, Duration run) {
+    FleetChaos chaos;
+    const std::int64_t run_ms = std::max<std::int64_t>(run.count() / 1'000'000, 1000);
+
+    // Crash wave: every other train loses one node, spread across the
+    // middle 40% of the run so the fleet never has two shards mid-rejoin
+    // at exactly the same instant. The victim rotates through the cluster
+    // (including the primary) and always restarts, so a healthy run ends
+    // with every alarm cleared.
+    const std::uint32_t crash_trains = std::max<std::uint32_t>(trains / 2, 1);
+    for (std::uint32_t k = 0; k < crash_trains; ++k) {
+        TrainCrash c;
+        c.train = static_cast<TrainId>(k * 2 % trains);
+        c.node = static_cast<NodeId>(k % 4);
+        c.at = milliseconds(run_ms / 5 + static_cast<std::int64_t>(k) * (run_ms * 2 / 5) /
+                                             crash_trains);
+        c.restart_after = milliseconds(std::min<std::int64_t>(run_ms / 6, 8000));
+        chaos.crashes.push_back(c);
+    }
+
+    // LTE dead zones: every third train goes dark for ~12% of the run,
+    // staggered across the first half (tunnels come early on the line).
+    for (std::uint32_t t = 0; t < trains; t += 3) {
+        DeadZone z;
+        z.train = t;
+        z.at = milliseconds(run_ms / 10 + static_cast<std::int64_t>(t) * (run_ms * 2 / 5) /
+                                              std::max<std::uint32_t>(trains, 1));
+        z.duration = milliseconds(run_ms / 8);
+        chaos.dead_zones.push_back(z);
+    }
+
+    // DC failover: data center 0 drops at 45% of the run and returns at
+    // 80%, forcing every shard's exports onto the surviving DCs. Requires
+    // a second DC to fail over to.
+    if (dc_count > 1) {
+        DcOutage o;
+        o.dc = 0;
+        o.at = milliseconds(run_ms * 45 / 100);
+        o.duration = milliseconds(run_ms * 35 / 100);
+        chaos.dc_outages.push_back(o);
+    }
+    return chaos;
+}
+
+}  // namespace zc::fleet

@@ -1,0 +1,68 @@
+// Fleet-level chaos schedules: deterministic, declarative fault plans
+// applied across many train shards at once — staggered node crashes,
+// per-train LTE dead zones (a consist passing through a tunnel loses its
+// uplink while its on-train cluster keeps recording), and data-center
+// outages that force the remaining shards' exports to fail over to the
+// surviving DC.
+//
+// Everything is plain data resolved against the virtual clock; the same
+// schedule on the same seed replays identically, so chaos runs stay
+// byte-for-byte reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace zc::fleet {
+
+/// Index of a train (shard) within the fleet, 0..trains-1.
+using TrainId = std::uint32_t;
+
+struct FleetChaos {
+    /// Power-loss of one node on one train. `restart_after > 0` reboots
+    /// it that long after the crash; 0 leaves it down (fail-stop).
+    struct TrainCrash {
+        TrainId train = 0;
+        NodeId node = 0;
+        Duration at{0};
+        Duration restart_after{0};
+    };
+
+    /// LTE dead zone: one train's uplink to every data center drops for
+    /// `duration` (tunnel / rural gap). Consensus and recording continue;
+    /// exports straddling the window retry and complete afterwards.
+    struct DeadZone {
+        TrainId train = 0;
+        Duration at{0};
+        Duration duration{seconds(10)};
+    };
+
+    /// Data-center outage. `duration == 0` keeps the DC down for the rest
+    /// of the run (fail-over target for the surviving DCs).
+    struct DcOutage {
+        DataCenterId dc = 0;
+        Duration at{0};
+        Duration duration{0};
+    };
+
+    std::vector<TrainCrash> crashes;
+    std::vector<DeadZone> dead_zones;
+    std::vector<DcOutage> dc_outages;
+
+    bool empty() const noexcept {
+        return crashes.empty() && dead_zones.empty() && dc_outages.empty();
+    }
+
+    /// The standard fleet drill used by `zugchain_sim --fleet-chaos` and
+    /// the CI smoke job: a rolling wave of single-node crashes (each
+    /// restarting, staggered so no two overlap within a shard), LTE dead
+    /// zones sweeping every third train, and — when the fleet has more
+    /// than one data center — DC 0 failing mid-run and recovering at 80%
+    /// of the horizon. All offsets scale with `run` (warmup + duration).
+    static FleetChaos staggered(std::uint32_t trains, std::uint32_t dc_count, Duration run);
+};
+
+}  // namespace zc::fleet

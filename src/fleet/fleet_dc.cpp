@@ -1,0 +1,180 @@
+#include "fleet/fleet_dc.hpp"
+
+#include "runtime/wire.hpp"
+
+namespace zc::fleet {
+
+namespace {
+constexpr net::EndpointId kDcBase = 100;
+}
+
+void FleetIndex::observe(TrainId train, DataCenterId dc, const chain::BlockStore& store) {
+    Height& cursor = cursors_[{dc, train}];
+    const Height head = store.head_height();
+    for (Height h = cursor + 1; h <= head; ++h) {
+        const chain::BlockHeader* header = store.header(h);
+        if (header == nullptr) continue;
+        const crypto::Digest hash = header->hash();
+        const auto [it, inserted] = by_hash_.try_emplace(hash, train, h);
+        if (inserted) {
+            TrainEntry& entry = trains_[train];
+            entry.blocks += 1;
+            if (h >= entry.head) {
+                entry.head = h;
+                entry.head_hash = hash;
+            }
+            unique_blocks_ += 1;
+        } else if (it->second.first == train) {
+            duplicate_blocks_ += 1;  // replicated via DC-to-DC sync
+        } else {
+            cross_shard_collisions_ += 1;  // a sibling shard's block — never expected
+        }
+    }
+    if (head > cursor) cursor = head;
+}
+
+std::string FleetIndex::json() const {
+    std::string out = "{\"unique_blocks\":" + std::to_string(unique_blocks_) +
+                      ",\"duplicate_blocks\":" + std::to_string(duplicate_blocks_) +
+                      ",\"cross_shard_collisions\":" + std::to_string(cross_shard_collisions_) +
+                      ",\"trains\":[";
+    bool first = true;
+    for (const auto& [train, entry] : trains_) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"train\":" + std::to_string(train) +
+               ",\"head\":" + std::to_string(entry.head) +
+               ",\"blocks\":" + std::to_string(entry.blocks) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+/// One train's slice of this data center: the network port on that
+/// shard's network, a crypto context bound to the shard's key directory,
+/// and the per-chain export protocol core.
+struct FleetDataCenter::ShardRig final : net::Endpoint, exporter::DcTransport {
+    ShardRig(FleetDataCenter& host, TrainId train, net::Network& net,
+             crypto::KeyDirectory& directory)
+        : host(host), train(train), net(net),
+          crypto(host.provider_, directory, host.key_, host.dc_costs_, meter) {
+        exporter::DcConfig cfg;
+        cfg.id = host.config_.id;
+        cfg.n = host.config_.n;
+        cfg.f = host.config_.f;
+        cfg.checkpoint_interval = host.config_.checkpoint_interval;
+        cfg.reply_timeout = host.config_.reply_timeout;
+        cfg.max_retries = host.config_.max_retries;
+        cfg.retry_backoff = host.config_.retry_backoff;
+        cfg.retry_backoff_max = host.config_.retry_backoff_max;
+        for (DataCenterId other = 0; other < host.config_.dc_count; ++other) {
+            if (other != cfg.id) cfg.peers.push_back(other);
+        }
+        core = std::make_unique<exporter::DataCenter>(cfg, host.sim_, crypto, *this);
+        if (host.trace_ != nullptr) core->set_trace(host.trace_, kDcBase + cfg.id);
+    }
+
+    // Inbound (from this shard's replicas or a peer DC's port on the same
+    // shard network) funnels through the host's *shared* bounded
+    // executor: every train contends for the same ingestion tier.
+    void deliver(net::EndpointId from, Bytes message) override {
+        (void)from;
+        if (host.down_) return;
+        host.executor_.submit([this, msg = std::move(message)] {
+            crypto.charge(host.dc_costs_.handle(msg.size()));
+            const auto envelope = runtime::decode_envelope(msg);
+            if (envelope && envelope->channel == runtime::Channel::kExport) {
+                const auto m = exporter::decode_export_message(envelope->body);
+                if (m) core->on_message(*m);
+            }
+            return meter.take();
+        });
+    }
+
+    void to_replica(NodeId replica, const exporter::ExportMessage& m) override {
+        net.send(kDcBase + host.config_.id, replica,
+                 runtime::encode_envelope(runtime::Channel::kExport,
+                                          exporter::encode_export_message(m)));
+    }
+    // Peer DCs are reachable through their port on this same shard
+    // network, so per-train sync traffic stays within the shard's
+    // addressing plan (peer ports route it to their core for `train`).
+    void to_data_center(DataCenterId dc, const exporter::ExportMessage& m) override {
+        net.send(kDcBase + host.config_.id, kDcBase + dc,
+                 runtime::encode_envelope(runtime::Channel::kExport,
+                                          exporter::encode_export_message(m)));
+    }
+
+    FleetDataCenter& host;
+    TrainId train;
+    net::Network& net;
+    crypto::WorkMeter meter;
+    crypto::CryptoContext crypto;
+    std::unique_ptr<exporter::DataCenter> core;
+};
+
+FleetDataCenter::FleetDataCenter(FleetDcConfig config, sim::Simulation& sim,
+                                 crypto::CryptoProvider& provider, crypto::KeyPair key,
+                                 FleetIndex& index, trace::TraceSink* trace)
+    : config_(config), sim_(sim), provider_(provider), key_(std::move(key)), index_(index),
+      trace_(trace), dc_costs_(metrics::CostModel::cloud()),
+      executor_(sim, config.ingest_cores, config.ingest_queue) {}
+
+FleetDataCenter::~FleetDataCenter() = default;
+
+void FleetDataCenter::add_shard(TrainId train, net::Network& net,
+                                crypto::KeyDirectory& directory) {
+    if (rigs_.size() != train) {
+        throw std::invalid_argument("fleet dc shards must be added in train order");
+    }
+    rigs_.push_back(std::make_unique<ShardRig>(*this, train, net, directory));
+    net.attach(kDcBase + config_.id, rigs_.back().get());
+    // Archive growth is indexed as exports complete (plus the periodic
+    // observe_all sweep for sync-adopted blocks).
+    exporter::DataCenter* core = rigs_.back()->core.get();
+    core->set_completion_hook([this, train, core](const exporter::ExportRecord& record) {
+        if (record.success) index_.observe(train, config_.id, core->store());
+    });
+}
+
+void FleetDataCenter::start_export(TrainId train) {
+    if (down_) return;
+    rigs_.at(train)->core->start_export();
+}
+
+bool FleetDataCenter::exporting(TrainId train) const {
+    return rigs_.at(train)->core->exporting();
+}
+
+void FleetDataCenter::set_down(bool down) {
+    down_ = down;
+    for (const auto& rig : rigs_) {
+        rig->net.set_endpoint_down(kDcBase + config_.id, down);
+    }
+    if (down) executor_.clear_queue();  // the frontend loses its backlog too
+}
+
+void FleetDataCenter::observe_all() {
+    for (const auto& rig : rigs_) index_.observe(rig->train, config_.id, rig->core->store());
+}
+
+exporter::DataCenter& FleetDataCenter::core(TrainId train) { return *rigs_.at(train)->core; }
+
+const exporter::DataCenter& FleetDataCenter::core(TrainId train) const {
+    return *rigs_.at(train)->core;
+}
+
+FleetDataCenter::Totals FleetDataCenter::totals() const {
+    Totals t;
+    for (const auto& rig : rigs_) {
+        const exporter::DcStats& s = rig->core->stats();
+        t.exports_completed += s.exports_completed;
+        t.exports_failed += s.exports_failed;
+        t.retries += s.retries;
+        t.blocks_rejected += s.blocks_rejected;
+        t.syncs_received += s.syncs_received;
+    }
+    return t;
+}
+
+}  // namespace zc::fleet

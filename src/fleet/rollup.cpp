@@ -1,0 +1,88 @@
+#include "fleet/rollup.hpp"
+
+#include <cstdio>
+
+#include "health/monitor.hpp"
+
+namespace zc::fleet {
+
+namespace {
+
+void append_row_fields(std::string& out, const FleetSample& r, const char* fmt) {
+    char buf[320];
+    std::snprintf(buf, sizeof buf, fmt, to_seconds(r.at), r.trains, r.nodes_alive,
+                  static_cast<unsigned long long>(r.head_sum),
+                  static_cast<unsigned long long>(r.logged_sum),
+                  static_cast<unsigned long long>(r.exported_sum),
+                  static_cast<unsigned long long>(r.backlog_sum),
+                  static_cast<unsigned long long>(r.active_alarms),
+                  static_cast<unsigned long long>(r.ingest_depth),
+                  static_cast<unsigned long long>(r.ingest_dropped));
+    out += buf;
+}
+
+}  // namespace
+
+std::string FleetRollup::csv() const {
+    std::string out =
+        "t_s,trains,nodes_alive,head_sum,logged_sum,exported_sum,backlog_sum,"
+        "active_alarms,ingest_depth,ingest_dropped\n";
+    for (const FleetSample& r : rows_) {
+        append_row_fields(out, r, "%.3f,%u,%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n");
+    }
+    return out;
+}
+
+std::string FleetRollup::json() const {
+    std::string out = "[";
+    bool first = true;
+    for (const FleetSample& r : rows_) {
+        if (!first) out += ",";
+        first = false;
+        append_row_fields(out, r,
+                          "{\"t_s\":%.3f,\"trains\":%u,\"nodes_alive\":%u,"
+                          "\"head_sum\":%llu,\"logged_sum\":%llu,\"exported_sum\":%llu,"
+                          "\"backlog_sum\":%llu,\"active_alarms\":%llu,"
+                          "\"ingest_depth\":%llu,\"ingest_dropped\":%llu}");
+    }
+    out += "]";
+    return out;
+}
+
+FleetAlarmSummary FleetRollup::summarize(
+    const std::vector<const health::HealthMonitor*>& monitors) {
+    FleetAlarmSummary s;
+    for (const health::HealthMonitor* monitor : monitors) {
+        if (monitor == nullptr) continue;
+        for (const health::Alarm& a : monitor->alarms()) {
+            const auto kind = static_cast<unsigned>(a.kind);
+            s.fired[kind] += 1;
+            s.total_fired += 1;
+            if (!a.cleared) {
+                s.never_cleared[kind] += 1;
+                s.total_never_cleared += 1;
+            }
+        }
+    }
+    return s;
+}
+
+std::string FleetAlarmSummary::json() const {
+    std::string out = "{\"total_fired\":" + std::to_string(total_fired) +
+                      ",\"total_never_cleared\":" + std::to_string(total_never_cleared) +
+                      ",\"by_kind\":{";
+    bool first = true;
+    for (unsigned k = 0; k < health::kAlarmKindCount; ++k) {
+        if (fired[k] == 0 && never_cleared[k] == 0) continue;
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += health::alarm_kind_name(static_cast<health::AlarmKind>(k));
+        out += "\":{\"fired\":" + std::to_string(fired[k]) +
+               ",\"never_cleared\":" + std::to_string(never_cleared[k]) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+}  // namespace zc::fleet

@@ -1,0 +1,71 @@
+// Fleet-level health rollup: the dispatcher's wall display.
+//
+// Per-shard watchdogs (health::HealthMonitor, one per train) keep their
+// node-granular alarm logic; this sink aggregates across shards on the
+// fleet sampling cadence — fleet throughput, chain/export backlog, alive
+// nodes, active alarms, DC ingest pressure — into a fixed-column time
+// series, plus an end-of-run alarm summary grouped by kind. Both render
+// deterministically (CSV/JSON) so same-seed fleet runs compare
+// byte-for-byte.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "health/health.hpp"
+
+namespace zc::health {
+class HealthMonitor;
+}
+
+namespace zc::fleet {
+
+/// One fleet-wide sample row (all counters cumulative across shards).
+struct FleetSample {
+    TimePoint at{0};
+    std::uint32_t trains = 0;
+    std::uint32_t nodes_alive = 0;
+    std::uint64_t head_sum = 0;      ///< chain heads summed over shards
+    std::uint64_t logged_sum = 0;    ///< unique logged requests, fleet-wide
+    std::uint64_t exported_sum = 0;  ///< unique blocks in the fleet DC index
+    std::uint64_t backlog_sum = 0;   ///< unpruned spans (head - base) summed
+    std::uint64_t active_alarms = 0; ///< fired-and-not-cleared, all monitors
+    std::uint64_t ingest_depth = 0;  ///< DC ingest queue depth, all DCs
+    std::uint64_t ingest_dropped = 0;///< DC ingest drops (bounded queue), cum.
+};
+
+/// Alarm counts across every shard monitor, grouped by kind.
+struct FleetAlarmSummary {
+    std::array<std::uint64_t, health::kAlarmKindCount> fired{};
+    std::array<std::uint64_t, health::kAlarmKindCount> never_cleared{};
+    std::uint64_t total_fired = 0;
+    std::uint64_t total_never_cleared = 0;
+
+    std::string json() const;
+};
+
+class FleetRollup {
+public:
+    void add(const FleetSample& sample) { rows_.push_back(sample); }
+
+    const std::vector<FleetSample>& rows() const noexcept { return rows_; }
+
+    /// Fixed-column CSV, one row per sample (header included).
+    std::string csv() const;
+
+    /// Compact deterministic JSON array of row objects.
+    std::string json() const;
+
+    /// Aggregates the alarm histories of per-shard monitors (null entries
+    /// are skipped). A run is "rollup-clean" when total_never_cleared == 0.
+    static FleetAlarmSummary summarize(
+        const std::vector<const health::HealthMonitor*>& monitors);
+
+private:
+    std::vector<FleetSample> rows_;
+};
+
+}  // namespace zc::fleet

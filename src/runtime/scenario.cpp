@@ -1,7 +1,6 @@
 #include "runtime/scenario.hpp"
 
 #include "common/log.hpp"
-#include "crypto/sha256.hpp"
 
 namespace zc::runtime {
 
@@ -14,8 +13,8 @@ class Scenario::DataCenterHost final : public net::Endpoint {
 public:
     DataCenterHost(DataCenterId id, Scenario& scenario, crypto::KeyPair key)
         : id_(id), scenario_(scenario),
-          crypto_(*scenario.provider_, scenario.directory_, std::move(key), scenario.dc_costs_,
-                  meter_),
+          crypto_(*scenario.provider_, scenario.shard_->directory(), std::move(key),
+                  scenario.dc_costs_, meter_),
           executor_(scenario.sim_, 4), transport_(*this) {
         exporter::DcConfig cfg;
         cfg.id = id;
@@ -72,16 +71,6 @@ private:
     std::unique_ptr<exporter::DataCenter> dc_;
 };
 
-/// Adapts a secondary bus tap to a node input source.
-struct Scenario::SourceTap final : bus::BusTap {
-    SourceTap(Node& node, std::uint32_t source) : node(node), source(source) {}
-    void on_telegram(const bus::Telegram& telegram) override {
-        node.on_telegram_from(source, telegram);
-    }
-    Node& node;
-    std::uint32_t source;
-};
-
 Scenario::Scenario(ScenarioConfig config)
     : config_(std::move(config)), sim_(config_.seed), net_(sim_),
       provider_(crypto::make_provider(config_.crypto_provider)),
@@ -92,43 +81,9 @@ Scenario::Scenario(ScenarioConfig config)
 Scenario::~Scenario() = default;
 
 void Scenario::build() {
-    // Keys for nodes and data centers (the permissioned membership).
-    Rng keyrng = sim_.rng().fork("keys");
-    std::vector<crypto::KeyPair> node_keys;
-    for (std::uint32_t i = 0; i < config_.n; ++i) {
-        node_keys.push_back(provider_->generate(keyrng));
-        directory_.register_key(i, node_keys.back().pub);
-    }
-    std::vector<crypto::KeyPair> dc_keys;
-    for (std::uint32_t d = 0; d < config_.dc_count; ++d) {
-        dc_keys.push_back(provider_->generate(keyrng));
-        directory_.register_key(exporter::dc_key_id(d), dc_keys.back().pub);
-    }
-
-    // Safety auditor: an observer outside the deployment with its own key
-    // (drawn after the membership keys so node/dc key streams are
-    // unchanged) and read access to the shared key directory.
-    if (config_.auditor != nullptr) {
-        audit_crypto_ = std::make_unique<crypto::CryptoContext>(
-            *provider_, directory_, provider_->generate(keyrng), node_costs_, audit_meter_);
-        config_.auditor->configure(
-            config_.f, config_.block_size,
-            [this](std::uint32_t signer, BytesView message, const crypto::Signature& sig) {
-                return audit_crypto_->verify(signer, message, sig);
-            });
-        for (const auto& [id, byz] : config_.byzantine) {
-            if (byz.any()) config_.auditor->set_compromised(id);
-        }
-        if (config_.trace_sink != nullptr) {
-            config_.auditor->set_trace({config_.trace_sink, kNoNode, sim_.now_handle()});
-        }
-        if (config_.audit_period > Duration::zero()) {
-            sim_.schedule(config_.audit_period, [this] { audit_tick(); });
-        }
-    }
-
     // Network topology: full mesh of train Ethernet between nodes; LTE
     // between train and data centers; fast interconnect between DCs.
+    // (Profile setup consumes no randomness, so it can precede the shard.)
     net_.set_default_profile(config_.train_link);
     for (std::uint32_t i = 0; i < config_.n; ++i) {
         for (std::uint32_t d = 0; d < config_.dc_count; ++d) {
@@ -142,77 +97,25 @@ void Scenario::build() {
         }
     }
 
-    // Signal source and bus.
-    train::GeneratorConfig gen_cfg;
-    gen_cfg.payload_size = config_.payload_size;
-    generator_ = std::make_unique<train::SignalGenerator>(gen_cfg, sim_.rng().fork("atp"));
-    bus_ = std::make_unique<bus::Bus>(sim_, config_.bus_cycle, *generator_);
+    // The consist itself: keys, auditor wiring, generator, buses, nodes,
+    // state transfer. The empty rng label keeps the classic fork stream.
+    ShardEnv env;
+    env.sim = &sim_;
+    env.net = &net_;
+    env.provider = provider_.get();
+    shard_ = std::make_unique<TrainShard>(config_, std::move(env));
 
-    // Nodes.
-    for (std::uint32_t i = 0; i < config_.n; ++i) {
-        NodeOptions opts;
-        opts.id = i;
-        opts.n = config_.n;
-        opts.f = config_.f;
-        opts.mode = config_.mode;
-        opts.block_size = config_.block_size;
-        opts.soft_timeout = config_.soft_timeout;
-        opts.hard_timeout = config_.hard_timeout;
-        opts.max_open_per_origin = config_.max_open_per_origin;
-        opts.client_timeout = config_.client_timeout;
-        opts.request_timeout = config_.request_timeout;
-        opts.view_change_timeout = config_.view_change_timeout;
-        opts.batch_max_requests = config_.batch_max_requests;
-        opts.batch_max_bytes = config_.batch_max_bytes;
-        opts.batch_linger = config_.batch_linger;
-        opts.device_cores = config_.device_cores;
-        opts.protocol_cores = config_.protocol_cores;
-        opts.rx_queue_limit = config_.rx_queue_limit;
-        opts.delete_quorum = config_.delete_quorum;
-        opts.trace = config_.trace_sink;
-        opts.auditor = config_.auditor;
-        const auto byz = config_.byzantine.find(i);
-        if (byz != config_.byzantine.end()) opts.byzantine = byz->second;
-        if (config_.store_root) {
-            opts.store_dir = *config_.store_root / ("node-" + std::to_string(i));
-        }
-
-        nodes_.push_back(std::make_unique<Node>(opts, sim_, net_, *provider_, directory_,
-                                                node_keys[i], node_costs_));
-        net_.attach(i, nodes_.back().get());
-
-        const auto faults = config_.tap_faults.find(i);
-        bus_->attach_tap(*nodes_.back(),
-                         faults != config_.tap_faults.end() ? faults->second
-                                                            : config_.default_tap_faults);
+    if (config_.auditor != nullptr && config_.audit_period > Duration::zero()) {
+        sim_.schedule(config_.audit_period, [this] { audit_tick(); });
     }
 
-    // Additional input sources (each an independent bus + generator).
-    for (std::size_t b = 0; b < config_.extra_buses.size(); ++b) {
-        const auto& spec = config_.extra_buses[b];
-        ExtraBusRig rig;
-        train::GeneratorConfig extra_gen;
-        extra_gen.payload_size = spec.payload_size;
-        rig.generator = std::make_unique<train::SignalGenerator>(
-            extra_gen, sim_.rng().fork("extra-bus-" + std::to_string(b)));
-        rig.bus = std::make_unique<bus::Bus>(sim_, spec.cycle, *rig.generator);
-        for (auto& node : nodes_) {
-            rig.taps.push_back(
-                std::make_unique<SourceTap>(*node, static_cast<std::uint32_t>(b + 1)));
-            rig.bus->attach_tap(*rig.taps.back(), config_.default_tap_faults);
-        }
-        rig.bus->start();
-        extra_buses_.push_back(std::move(rig));
-    }
-
-    // Data centers.
+    // Data centers (keys drawn by the shard, single-consist mode).
     for (std::uint32_t d = 0; d < config_.dc_count; ++d) {
-        dcs_.push_back(std::make_unique<DataCenterHost>(d, *this, dc_keys[d]));
+        dcs_.push_back(
+            std::make_unique<DataCenterHost>(d, *this, shard_->generated_dc_keys()[d]));
         net_.attach(kDcBase + d, dcs_.back().get());
         dcs_.back()->dc().set_trace(config_.trace_sink, kDcBase + d);
     }
-
-    wire_state_transfer();
 
     // Fault schedules: crashes (optionally auto-restarting), explicit
     // restarts, and link flaps.
@@ -232,7 +135,7 @@ void Scenario::build() {
         sim_.schedule(flap.at + flap.duration, [this, flap] { apply_flap(flap, false); });
     }
 
-    bus_->start();
+    shard_->start();
     sim_.schedule(config_.mem_sample_period, [this] { sample_memory(); });
     sim_.schedule(config_.warmup, [this] { start_measuring(); });
 
@@ -248,144 +151,9 @@ void Scenario::build() {
     }
 }
 
-void Scenario::wire_state_transfer() {
-    for (auto& node : nodes_) install_state_fetcher(*node);
-}
+void Scenario::crash_node(NodeId id) { shard_->crash_node(id); }
 
-void Scenario::install_state_fetcher(Node& node) {
-    // State transfer (paper §III-D discussion (ii)): a lagging replica
-    // fetches missing blocks from a peer, stages them, and validates the
-    // staged range — contiguity, parent links, payload roots and the final
-    // head hash against the quorum-certified checkpoint digest — before
-    // anything touches the durable store or the layer's logged set. A peer
-    // serving a forged-but-hash-linked range is rejected at the digest
-    // check and the fetcher moves to the next peer. Modelled as a
-    // validated in-process copy; the bulk-transfer cost is charged to the
-    // CPU model (bandwidth cost is covered by the export experiments).
-    // Re-installed after a restart (the chain app is rebuilt).
-    Node* self = &node;
-    self->chain_app().set_state_fetcher([this, self](SeqNo seq, const crypto::Digest& state) {
-        const Height target = seq / config_.block_size;
-        if (self->store().head_height() >= target) {
-            const chain::BlockHeader* h = self->store().header(target);
-            return h != nullptr && h->hash() == state;
-        }
-        const Height from = self->store().head_height() + 1;
-        for (const auto& peer : nodes_) {
-            if (peer.get() == self || !peer->alive()) continue;
-            chain::BlockStore& src = peer->store();
-            if (src.head_height() < target) continue;
-            if (from < src.base_height()) continue;  // peer pruned too far
-
-            // A compromised peer may serve a forged-but-hash-linked range
-            // instead of its real chain (state-transfer poisoning).
-            std::vector<chain::Block> staged;
-            faults::Adversary* adv = peer->adversary();
-            if (adv != nullptr && adv->config().poison_state_transfer) {
-                staged = adv->forged_range(self->store().head_hash(), from, target);
-                adv->stats_mut().st_poisonings += 1;
-            } else {
-                staged = src.range(from, target);
-            }
-
-#ifdef ZC_BREAK_VALIDATION
-            // Pre-hardening behaviour, kept behind a build flag so CI can
-            // prove the safety auditor catches the resulting poisoning:
-            // blocks enter the durable store (and the layer's logged set)
-            // before the checkpoint-digest check runs.
-            bool ok = true;
-            std::uint64_t copied = 0;
-            for (chain::Block& b : staged) {
-                self->crypto().charge_hash(b.size_bytes());
-                std::vector<crypto::Digest> digests;
-                for (const chain::LoggedRequest& req : b.requests) {
-                    digests.push_back(crypto::sha256(req.payload));
-                }
-                try {
-                    self->store().append(std::move(b));
-                } catch (const std::invalid_argument&) {
-                    ok = false;
-                    break;
-                }
-                copied += 1;
-                for (const crypto::Digest& d : digests) {
-                    if (self->layer() != nullptr) self->layer()->mark_logged(d);
-                    if (config_.auditor != nullptr) config_.auditor->note_logged(self->id(), d);
-                }
-            }
-            if (ok && self->store().head_height() >= target &&
-                self->store().head_hash() == state) {
-                state_transfer_fetches_ += 1;
-                state_transfer_blocks_ += copied;
-                if (config_.trace_sink != nullptr) {
-                    config_.trace_sink->event(self->id(), sim_.now(),
-                                              trace::Phase::kStateTransfer, seq, copied);
-                }
-                return true;
-            }
-#else
-            // Stage-then-adopt: validate the whole range incrementally
-            // from our head up to the checkpoint digest, then append.
-            bool ok = staged.size() == target - from + 1;
-            crypto::Digest prev = self->store().head_hash();
-            Height expect = from;
-            for (const chain::Block& b : staged) {
-                if (!ok) break;
-                self->crypto().charge_hash(b.size_bytes());
-                ok = b.header.height == expect && b.header.parent_hash == prev &&
-                     b.payload_valid();
-                prev = b.hash();
-                expect += 1;
-            }
-            if (!ok || prev != state) {
-                state_transfer_rejected_ += 1;
-                ZC_WARN("scenario",
-                        "node {} rejected state-transfer range [{}, {}] from node {}",
-                        self->id(), from, target, peer->id());
-                if (config_.trace_sink != nullptr) {
-                    config_.trace_sink->event(self->id(), sim_.now(),
-                                              trace::Phase::kStateTransferRejected, seq,
-                                              peer->id());
-                }
-                continue;  // try the next peer
-            }
-            std::uint64_t copied = 0;
-            for (chain::Block& b : staged) {
-                for (const chain::LoggedRequest& req : b.requests) {
-                    const crypto::Digest d = crypto::sha256(req.payload);
-                    if (self->layer() != nullptr) self->layer()->mark_logged(d);
-                    if (config_.auditor != nullptr) config_.auditor->note_logged(self->id(), d);
-                }
-                self->store().append(std::move(b));
-                copied += 1;
-            }
-            state_transfer_fetches_ += 1;
-            state_transfer_blocks_ += copied;
-            if (config_.trace_sink != nullptr) {
-                config_.trace_sink->event(self->id(), sim_.now(), trace::Phase::kStateTransfer,
-                                          seq, copied);
-            }
-            return true;
-#endif
-        }
-        return false;
-    });
-}
-
-void Scenario::crash_node(NodeId id) { nodes_.at(id)->crash(); }
-
-void Scenario::restart_node(NodeId id) {
-    Node& target = *nodes_.at(id);
-    if (target.alive()) return;
-    // Rejoin in the highest view any surviving replica runs; the durable
-    // chain and checkpoint-driven state transfer handle the rest.
-    View view = 0;
-    for (const auto& peer : nodes_) {
-        if (peer->alive()) view = std::max(view, peer->replica().view());
-    }
-    target.restart(view);
-    install_state_fetcher(target);
-}
+void Scenario::restart_node(NodeId id) { shard_->restart_node(id); }
 
 void Scenario::apply_flap(const ScenarioConfig::LinkFlap& flap, bool blocked) {
     if (flap.link == ScenarioConfig::LinkFlap::Link::kLte) {
@@ -425,40 +193,20 @@ void Scenario::start_measuring() {
     bytes_at_start_.clear();
     bytes_rx_at_start_.clear();
     for (std::uint32_t i = 0; i < config_.n; ++i) {
-        nodes_[i]->set_measuring(true);
-        busy_at_start_.push_back(nodes_[i]->executor().busy_time());
+        Node& node = shard_->node(i);
+        node.set_measuring(true);
+        busy_at_start_.push_back(node.executor().busy_time());
         bytes_at_start_.push_back(net_.stats(i).bytes_sent);
         bytes_rx_at_start_.push_back(net_.stats(i).bytes_received);
     }
 }
 
-health::NodeSample Scenario::snapshot_node(Node& node) const {
-    health::NodeSample s;
-    s.node = node.id();
-    s.alive = node.alive();
-    const pbft::ReplicaStats& rs = node.replica().stats();
-    s.decided = rs.decided;
-    s.view_changes = rs.new_views_installed;
-    if (node.layer() != nullptr) {
-        const zugchain::LayerStats& ls = node.layer()->stats();
-        s.logged = ls.logged;
-        s.soft_timeouts = ls.soft_timeouts;
-        s.hard_timeouts = ls.hard_timeouts;
-    } else {
-        s.logged = rs.decided;  // baseline mode: every decide is a log
-    }
-    s.head_height = node.store().head_height();
-    s.stable_height = node.replica().last_stable() / config_.block_size;
-    s.base_height = node.store().base_height();
-    s.rx_dropped = node.rx_dropped();
-    s.mem_mb = static_cast<double>(node.memory().total_bytes()) / (1024.0 * 1024.0);
-    return s;
-}
-
 void Scenario::sample_health() {
     std::vector<health::NodeSample> samples;
-    samples.reserve(nodes_.size());
-    for (auto& node : nodes_) samples.push_back(snapshot_node(*node));
+    samples.reserve(shard_->node_count());
+    for (std::size_t i = 0; i < shard_->node_count(); ++i) {
+        samples.push_back(shard_->snapshot_node(i));
+    }
     if (config_.health_monitor != nullptr) config_.health_monitor->sample(sim_.now(), samples);
     if (config_.health_timeseries != nullptr) {
         config_.health_timeseries->sample(sim_.now(), samples);
@@ -469,24 +217,16 @@ void Scenario::sample_health() {
 void Scenario::sample_memory() {
     if (stop_sampling_) return;
     if (measuring_) {
-        for (auto& node : nodes_) node->memory().sample();
+        for (std::size_t i = 0; i < shard_->node_count(); ++i) {
+            shard_->node(i).memory().sample();
+        }
     }
     sim_.schedule(config_.mem_sample_period, [this] { sample_memory(); });
 }
 
 void Scenario::run_audit() {
     if (config_.auditor == nullptr) return;
-    std::vector<faults::ReplicaView> replicas;
-    replicas.reserve(nodes_.size());
-    for (auto& node : nodes_) {
-        faults::ReplicaView view;
-        view.id = node->id();
-        view.alive = node->alive();
-        view.compromised = node->adversary() != nullptr;
-        view.store = &node->store();
-        view.layer = node->layer();
-        replicas.push_back(view);
-    }
+    std::vector<faults::ReplicaView> replicas = shard_->replica_views();
     std::vector<faults::DataCenterView> dcs;
     dcs.reserve(dcs_.size());
     for (std::size_t d = 0; d < dcs_.size(); ++d) {
@@ -520,7 +260,7 @@ ScenarioReport Scenario::report() {
 
     double util_sum = 0.0;
     for (std::uint32_t i = 0; i < config_.n; ++i) {
-        Node& node = *nodes_[i];
+        Node& node = shard_->node(i);
         NodeReport nr;
         nr.cpu_cores = node.executor().utilization_since(measure_start_, busy_at_start_[i]);
         nr.cpu_pct_of_device = nr.cpu_cores / config_.device_cores * 100.0;
@@ -541,7 +281,7 @@ ScenarioReport Scenario::report() {
     }
     out.mean_egress_utilization = util_sum / config_.n;
 
-    Node& n0 = *nodes_[0];
+    Node& n0 = shard_->node(0);
     out.latency_ms = n0.latency().millis();
     out.blocks = n0.store().head_height();
     if (config_.mode == Mode::kZugChain) {

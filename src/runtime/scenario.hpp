@@ -16,6 +16,7 @@
 #include "health/monitor.hpp"
 #include "health/timeseries.hpp"
 #include "runtime/node.hpp"
+#include "runtime/train_shard.hpp"
 #include "train/generator.hpp"
 
 namespace zc::runtime {
@@ -182,8 +183,8 @@ public:
 
     ScenarioReport report();
 
-    Node& node(std::size_t i) { return *nodes_.at(i); }
-    std::size_t node_count() const noexcept { return nodes_.size(); }
+    Node& node(std::size_t i) { return shard_->node(i); }
+    std::size_t node_count() const noexcept { return shard_->node_count(); }
 
     /// Crashes / restarts a node immediately (same path the schedules
     /// use). Restart picks the highest view among the surviving replicas
@@ -192,12 +193,18 @@ public:
     void restart_node(NodeId id);
 
     /// Successful state-transfer fetches (and blocks copied) so far.
-    std::uint64_t state_transfer_fetches() const noexcept { return state_transfer_fetches_; }
-    std::uint64_t state_transfer_blocks() const noexcept { return state_transfer_blocks_; }
+    std::uint64_t state_transfer_fetches() const noexcept {
+        return shard_->state_transfer_fetches();
+    }
+    std::uint64_t state_transfer_blocks() const noexcept {
+        return shard_->state_transfer_blocks();
+    }
 
     /// Peer block ranges rejected by staged state-transfer validation
     /// (hash-link or checkpoint-digest mismatch — a poisoning attempt).
-    std::uint64_t state_transfer_rejected() const noexcept { return state_transfer_rejected_; }
+    std::uint64_t state_transfer_rejected() const noexcept {
+        return shard_->state_transfer_rejected();
+    }
 
     /// One audit pass over all replicas and data centers, feeding the
     /// auditor's report (no-op without a configured auditor).
@@ -206,50 +213,29 @@ public:
     exporter::DataCenter& data_center(std::size_t i);
     sim::Simulation& sim() noexcept { return sim_; }
     net::Network& network() noexcept { return net_; }
-    bus::Bus& train_bus() noexcept { return *bus_; }
+    bus::Bus& train_bus() noexcept { return shard_->train_bus(); }
+    TrainShard& shard() noexcept { return *shard_; }
     const ScenarioConfig& config() const noexcept { return config_; }
 
 private:
     class DataCenterHost;
 
     void build();
-    void wire_state_transfer();
-    void install_state_fetcher(Node& node);
     void apply_flap(const ScenarioConfig::LinkFlap& flap, bool blocked);
     void start_measuring();
     void sample_memory();
     void sample_health();
     void audit_tick();
-    health::NodeSample snapshot_node(Node& node) const;
 
     ScenarioConfig config_;
     sim::Simulation sim_;
     net::Network net_;
     std::unique_ptr<crypto::CryptoProvider> provider_;
-    crypto::KeyDirectory directory_;
-    metrics::CostModel node_costs_;
     metrics::CostModel dc_costs_;
-    std::unique_ptr<train::SignalGenerator> generator_;
-    std::unique_ptr<bus::Bus> bus_;
-    struct SourceTap;
-    struct ExtraBusRig {
-        std::unique_ptr<train::SignalGenerator> generator;
-        std::unique_ptr<bus::Bus> bus;
-        std::vector<std::unique_ptr<SourceTap>> taps;
-    };
-    std::vector<ExtraBusRig> extra_buses_;
-    std::vector<std::unique_ptr<Node>> nodes_;
+    std::unique_ptr<TrainShard> shard_;
     std::vector<std::unique_ptr<DataCenterHost>> dcs_;
 
     Duration health_period_{0};
-    std::uint64_t state_transfer_fetches_ = 0;
-    std::uint64_t state_transfer_blocks_ = 0;
-    std::uint64_t state_transfer_rejected_ = 0;
-
-    /// The auditor verifies signatures with its own metered context (an
-    /// observer outside the deployment; its CPU is not a node's CPU).
-    crypto::WorkMeter audit_meter_;
-    std::unique_ptr<crypto::CryptoContext> audit_crypto_;
 
     // measurement window bookkeeping
     bool measuring_ = false;

@@ -1,0 +1,407 @@
+#include "runtime/train_shard.hpp"
+
+#include "common/log.hpp"
+#include "crypto/sha256.hpp"
+#include "export/data_center.hpp"
+#include "export/messages.hpp"
+#include "runtime/scenario.hpp"
+
+namespace zc::runtime {
+
+/// Adapts a secondary bus tap to a node input source.
+struct TrainShard::SourceTap final : bus::BusTap {
+    SourceTap(Node& node, std::uint32_t source) : node(node), source(source) {}
+    void on_telegram(const bus::Telegram& telegram) override {
+        node.on_telegram_from(source, telegram);
+    }
+    Node& node;
+    std::uint32_t source;
+};
+
+TrainShard::TrainShard(const ScenarioConfig& config, ShardEnv env)
+    : config_(std::make_unique<ScenarioConfig>(config)), env_(std::move(env)) {
+    build();
+}
+
+TrainShard::~TrainShard() = default;
+
+void TrainShard::build() {
+    sim::Simulation& sim = *env_.sim;
+    const ScenarioConfig& cfg = *config_;
+
+    // Keys for nodes and data centers (the permissioned membership). The
+    // fork label is prefixed per shard so a fleet's shards draw
+    // decorrelated key streams; the empty prefix reproduces the classic
+    // single-consist streams bit for bit.
+    Rng keyrng = sim.rng().fork(env_.rng_label + "keys");
+    std::vector<crypto::KeyPair> node_keys;
+    for (std::uint32_t i = 0; i < cfg.n; ++i) {
+        node_keys.push_back(env_.provider->generate(keyrng));
+        directory_.register_key(i, node_keys.back().pub);
+    }
+    if (env_.dc_keys != nullptr) {
+        // Fleet-shared data centers: one DC keypair signs for every shard,
+        // so each shard's directory registers the shared public keys.
+        for (std::uint32_t d = 0; d < env_.dc_keys->size(); ++d) {
+            directory_.register_key(exporter::dc_key_id(d), (*env_.dc_keys)[d].pub);
+        }
+    } else {
+        for (std::uint32_t d = 0; d < cfg.dc_count; ++d) {
+            dc_keys_.push_back(env_.provider->generate(keyrng));
+            directory_.register_key(exporter::dc_key_id(d), dc_keys_.back().pub);
+        }
+    }
+
+    // Safety auditor: an observer outside the deployment with its own key
+    // (drawn after the membership keys so node/dc key streams are
+    // unchanged) and read access to the shared key directory.
+    if (cfg.auditor != nullptr) {
+        audit_crypto_ = std::make_unique<crypto::CryptoContext>(
+            *env_.provider, directory_, env_.provider->generate(keyrng), node_costs_,
+            audit_meter_);
+        cfg.auditor->configure(
+            cfg.f, cfg.block_size,
+            [this](std::uint32_t signer, BytesView message, const crypto::Signature& sig) {
+                return audit_crypto_->verify(signer, message, sig);
+            });
+        for (const auto& [id, byz] : cfg.byzantine) {
+            if (byz.any()) cfg.auditor->set_compromised(id);
+        }
+        if (cfg.trace_sink != nullptr) {
+            cfg.auditor->set_trace({cfg.trace_sink, kNoNode, sim.now_handle()});
+        }
+    }
+
+    // Signal source and bus.
+    train::GeneratorConfig gen_cfg;
+    gen_cfg.payload_size = cfg.payload_size;
+    generator_ = std::make_unique<train::SignalGenerator>(
+        gen_cfg, sim.rng().fork(env_.rng_label + "atp"));
+    bus_ = std::make_unique<bus::Bus>(sim, cfg.bus_cycle, *generator_);
+
+    // Nodes.
+    for (std::uint32_t i = 0; i < cfg.n; ++i) {
+        NodeOptions opts;
+        opts.id = i;
+        opts.n = cfg.n;
+        opts.f = cfg.f;
+        opts.mode = cfg.mode;
+        opts.block_size = cfg.block_size;
+        opts.soft_timeout = cfg.soft_timeout;
+        opts.hard_timeout = cfg.hard_timeout;
+        opts.max_open_per_origin = cfg.max_open_per_origin;
+        opts.client_timeout = cfg.client_timeout;
+        opts.request_timeout = cfg.request_timeout;
+        opts.view_change_timeout = cfg.view_change_timeout;
+        opts.batch_max_requests = cfg.batch_max_requests;
+        opts.batch_max_bytes = cfg.batch_max_bytes;
+        opts.batch_linger = cfg.batch_linger;
+        opts.device_cores = cfg.device_cores;
+        opts.protocol_cores = cfg.protocol_cores;
+        opts.rx_queue_limit = cfg.rx_queue_limit;
+        opts.delete_quorum = cfg.delete_quorum;
+        opts.trace = cfg.trace_sink;
+        opts.auditor = cfg.auditor;
+        const auto byz = cfg.byzantine.find(i);
+        if (byz != cfg.byzantine.end()) opts.byzantine = byz->second;
+        if (cfg.store_root) {
+            opts.store_dir = *cfg.store_root / ("node-" + std::to_string(i));
+        }
+
+        nodes_.push_back(std::make_unique<Node>(opts, sim, *env_.net, *env_.provider,
+                                                directory_, node_keys[i], node_costs_));
+        env_.net->attach(i, nodes_.back().get());
+
+        const auto faults = cfg.tap_faults.find(i);
+        bus_->attach_tap(*nodes_.back(), faults != cfg.tap_faults.end()
+                                             ? faults->second
+                                             : cfg.default_tap_faults);
+    }
+
+    // Additional input sources (each an independent bus + generator).
+    for (std::size_t b = 0; b < cfg.extra_buses.size(); ++b) {
+        const auto& spec = cfg.extra_buses[b];
+        ExtraBusRig rig;
+        train::GeneratorConfig extra_gen;
+        extra_gen.payload_size = spec.payload_size;
+        rig.generator = std::make_unique<train::SignalGenerator>(
+            extra_gen, sim.rng().fork(env_.rng_label + "extra-bus-" + std::to_string(b)));
+        rig.bus = std::make_unique<bus::Bus>(sim, spec.cycle, *rig.generator);
+        for (auto& node : nodes_) {
+            rig.taps.push_back(
+                std::make_unique<SourceTap>(*node, static_cast<std::uint32_t>(b + 1)));
+            rig.bus->attach_tap(*rig.taps.back(), cfg.default_tap_faults);
+        }
+        rig.bus->start();
+        extra_buses_.push_back(std::move(rig));
+    }
+
+    for (auto& node : nodes_) install_state_fetcher(*node);
+}
+
+void TrainShard::start() { bus_->start(); }
+
+void TrainShard::install_state_fetcher(Node& node) {
+    // State transfer (paper §III-D discussion (ii)): a lagging replica
+    // fetches missing blocks from a peer, stages them, and validates the
+    // staged range — contiguity, parent links, payload roots and the final
+    // head hash against the quorum-certified checkpoint digest — before
+    // anything touches the durable store or the layer's logged set. A peer
+    // serving a forged-but-hash-linked range is rejected at the digest
+    // check and the fetcher moves to the next peer. Modelled as a
+    // validated in-process copy; the bulk-transfer cost is charged to the
+    // CPU model (bandwidth cost is covered by the export experiments).
+    // Re-installed after a restart (the chain app is rebuilt).
+    Node* self = &node;
+    self->chain_app().set_state_fetcher([this, self](SeqNo seq, const crypto::Digest& state) {
+        const ScenarioConfig& cfg = *config_;
+        const Height target = seq / cfg.block_size;
+        if (self->store().head_height() >= target) {
+            const chain::BlockHeader* h = self->store().header(target);
+            return h != nullptr && h->hash() == state;
+        }
+        const Height from = self->store().head_height() + 1;
+        for (const auto& peer : nodes_) {
+            if (peer.get() == self || !peer->alive()) continue;
+            chain::BlockStore& src = peer->store();
+            if (src.head_height() < target) continue;
+            if (from < src.base_height()) {
+                // The peer pruned past the range we need. The missing
+                // prefix is archived at the data centers — that is exactly
+                // what the peer's prune anchor attests, with a delete
+                // quorum of DC signatures over the base block. Adopt the
+                // anchor: verify the evidence, validate the retained tail
+                // up to the quorum-certified checkpoint digest, then
+                // discard our stale prefix and rebase on the peer's base.
+                // Without this, a diskless restart after an export prune
+                // can never catch up (and a node that rebuilt from genesis
+                // would fork the chain).
+                const std::optional<chain::PruneAnchor>& anchor = src.anchor();
+                if (!anchor || anchor->base_height != src.base_height()) continue;
+                if (target < anchor->base_height) continue;  // stale checkpoint
+
+                const auto deletes = exporter::decode_delete_evidence(anchor->evidence);
+                std::set<DataCenterId> signers;
+                if (deletes) {
+                    for (const exporter::DeleteCmd& cmd : *deletes) {
+                        if (cmd.height != anchor->base_height ||
+                            cmd.block_hash != anchor->base_hash) {
+                            continue;
+                        }
+                        if (!self->crypto().verify(exporter::dc_key_id(cmd.dc),
+                                                   cmd.signing_bytes(), cmd.sig)) {
+                            continue;
+                        }
+                        signers.insert(cmd.dc);
+                    }
+                }
+                if (signers.size() < cfg.delete_quorum) {
+                    state_transfer_rejected_ += 1;
+                    ZC_WARN("scenario",
+                            "node {} rejected prune anchor at {} from node {} "
+                            "({} valid delete signature(s), quorum {})",
+                            self->id(), anchor->base_height, peer->id(), signers.size(),
+                            cfg.delete_quorum);
+                    continue;
+                }
+
+                std::vector<chain::Block> staged = src.range(anchor->base_height, target);
+                bool ok = !staged.empty() &&
+                          staged.size() == target - anchor->base_height + 1 &&
+                          staged.front().header.height == anchor->base_height &&
+                          staged.front().hash() == anchor->base_hash &&
+                          staged.front().payload_valid();
+                crypto::Digest prev = ok ? anchor->base_hash : crypto::Digest{};
+                Height expect = anchor->base_height + 1;
+                for (std::size_t i = 1; ok && i < staged.size(); ++i) {
+                    const chain::Block& b = staged[i];
+                    self->crypto().charge_hash(b.size_bytes());
+                    ok = b.header.height == expect && b.header.parent_hash == prev &&
+                         b.payload_valid();
+                    prev = b.hash();
+                    expect += 1;
+                }
+                if (!ok || prev != state) {
+                    state_transfer_rejected_ += 1;
+                    ZC_WARN("scenario",
+                            "node {} rejected rebase range [{}, {}] from node {}",
+                            self->id(), anchor->base_height, target, peer->id());
+                    if (cfg.trace_sink != nullptr) {
+                        cfg.trace_sink->event(self->id(), env_.sim->now(),
+                                              trace::Phase::kStateTransferRejected, seq,
+                                              peer->id());
+                    }
+                    continue;
+                }
+
+                for (const chain::Block& b : staged) {
+                    for (const chain::LoggedRequest& req : b.requests) {
+                        const crypto::Digest d = crypto::sha256(req.payload);
+                        if (self->layer() != nullptr) self->layer()->mark_logged(d);
+                        if (cfg.auditor != nullptr) cfg.auditor->note_logged(self->id(), d);
+                    }
+                }
+                const std::uint64_t copied = staged.size();
+                self->store().rebase(std::move(staged.front()), anchor->evidence);
+                for (std::size_t i = 1; i < staged.size(); ++i) {
+                    self->store().append(std::move(staged[i]));
+                }
+                state_transfer_fetches_ += 1;
+                state_transfer_blocks_ += copied;
+                if (cfg.trace_sink != nullptr) {
+                    cfg.trace_sink->event(self->id(), env_.sim->now(),
+                                          trace::Phase::kStateTransfer, seq, copied);
+                }
+                return true;
+            }
+
+            // A compromised peer may serve a forged-but-hash-linked range
+            // instead of its real chain (state-transfer poisoning).
+            std::vector<chain::Block> staged;
+            faults::Adversary* adv = peer->adversary();
+            if (adv != nullptr && adv->config().poison_state_transfer) {
+                staged = adv->forged_range(self->store().head_hash(), from, target);
+                adv->stats_mut().st_poisonings += 1;
+            } else {
+                staged = src.range(from, target);
+            }
+
+#ifdef ZC_BREAK_VALIDATION
+            // Pre-hardening behaviour, kept behind a build flag so CI can
+            // prove the safety auditor catches the resulting poisoning:
+            // blocks enter the durable store (and the layer's logged set)
+            // before the checkpoint-digest check runs.
+            bool ok = true;
+            std::uint64_t copied = 0;
+            for (chain::Block& b : staged) {
+                self->crypto().charge_hash(b.size_bytes());
+                std::vector<crypto::Digest> digests;
+                for (const chain::LoggedRequest& req : b.requests) {
+                    digests.push_back(crypto::sha256(req.payload));
+                }
+                try {
+                    self->store().append(std::move(b));
+                } catch (const std::invalid_argument&) {
+                    ok = false;
+                    break;
+                }
+                copied += 1;
+                for (const crypto::Digest& d : digests) {
+                    if (self->layer() != nullptr) self->layer()->mark_logged(d);
+                    if (cfg.auditor != nullptr) cfg.auditor->note_logged(self->id(), d);
+                }
+            }
+            if (ok && self->store().head_height() >= target &&
+                self->store().head_hash() == state) {
+                state_transfer_fetches_ += 1;
+                state_transfer_blocks_ += copied;
+                if (cfg.trace_sink != nullptr) {
+                    cfg.trace_sink->event(self->id(), env_.sim->now(),
+                                          trace::Phase::kStateTransfer, seq, copied);
+                }
+                return true;
+            }
+#else
+            // Stage-then-adopt: validate the whole range incrementally
+            // from our head up to the checkpoint digest, then append.
+            bool ok = staged.size() == target - from + 1;
+            crypto::Digest prev = self->store().head_hash();
+            Height expect = from;
+            for (const chain::Block& b : staged) {
+                if (!ok) break;
+                self->crypto().charge_hash(b.size_bytes());
+                ok = b.header.height == expect && b.header.parent_hash == prev &&
+                     b.payload_valid();
+                prev = b.hash();
+                expect += 1;
+            }
+            if (!ok || prev != state) {
+                state_transfer_rejected_ += 1;
+                ZC_WARN("scenario",
+                        "node {} rejected state-transfer range [{}, {}] from node {}",
+                        self->id(), from, target, peer->id());
+                if (cfg.trace_sink != nullptr) {
+                    cfg.trace_sink->event(self->id(), env_.sim->now(),
+                                          trace::Phase::kStateTransferRejected, seq,
+                                          peer->id());
+                }
+                continue;  // try the next peer
+            }
+            std::uint64_t copied = 0;
+            for (chain::Block& b : staged) {
+                for (const chain::LoggedRequest& req : b.requests) {
+                    const crypto::Digest d = crypto::sha256(req.payload);
+                    if (self->layer() != nullptr) self->layer()->mark_logged(d);
+                    if (cfg.auditor != nullptr) cfg.auditor->note_logged(self->id(), d);
+                }
+                self->store().append(std::move(b));
+                copied += 1;
+            }
+            state_transfer_fetches_ += 1;
+            state_transfer_blocks_ += copied;
+            if (cfg.trace_sink != nullptr) {
+                cfg.trace_sink->event(self->id(), env_.sim->now(),
+                                      trace::Phase::kStateTransfer, seq, copied);
+            }
+            return true;
+#endif
+        }
+        return false;
+    });
+}
+
+void TrainShard::crash_node(NodeId id) { nodes_.at(id)->crash(); }
+
+void TrainShard::restart_node(NodeId id) {
+    Node& target = *nodes_.at(id);
+    if (target.alive()) return;
+    // Rejoin in the highest view any surviving replica runs; the durable
+    // chain and checkpoint-driven state transfer handle the rest.
+    View view = 0;
+    for (const auto& peer : nodes_) {
+        if (peer->alive()) view = std::max(view, peer->replica().view());
+    }
+    target.restart(view);
+    install_state_fetcher(target);
+}
+
+health::NodeSample TrainShard::snapshot_node(std::size_t i) const {
+    Node& node = *nodes_.at(i);
+    health::NodeSample s;
+    s.node = node.id();
+    s.alive = node.alive();
+    const pbft::ReplicaStats& rs = node.replica().stats();
+    s.decided = rs.decided;
+    s.view_changes = rs.new_views_installed;
+    if (node.layer() != nullptr) {
+        const zugchain::LayerStats& ls = node.layer()->stats();
+        s.logged = ls.logged;
+        s.soft_timeouts = ls.soft_timeouts;
+        s.hard_timeouts = ls.hard_timeouts;
+    } else {
+        s.logged = rs.decided;  // baseline mode: every decide is a log
+    }
+    s.head_height = node.store().head_height();
+    s.stable_height = node.replica().last_stable() / config_->block_size;
+    s.base_height = node.store().base_height();
+    s.rx_dropped = node.rx_dropped();
+    s.mem_mb = static_cast<double>(node.memory().total_bytes()) / (1024.0 * 1024.0);
+    return s;
+}
+
+std::vector<faults::ReplicaView> TrainShard::replica_views() {
+    std::vector<faults::ReplicaView> replicas;
+    replicas.reserve(nodes_.size());
+    for (auto& node : nodes_) {
+        faults::ReplicaView view;
+        view.id = node->id();
+        view.alive = node->alive();
+        view.compromised = node->adversary() != nullptr;
+        view.store = &node->store();
+        view.layer = node->layer();
+        replicas.push_back(view);
+    }
+    return replicas;
+}
+
+}  // namespace zc::runtime

@@ -297,5 +297,62 @@ TEST_F(PersistentStoreTest, LoadReportsUnrepairableBaseCorruption) {
     EXPECT_EQ(block_files, 3u);  // 0, 1, 2 all untouched
 }
 
+TEST(BlockStore, RebaseAdoptsPeerPruneBase) {
+    // The peer recorded 8 blocks and pruned below 5 after an export.
+    BlockStore peer;
+    extend(peer, 8);
+    peer.prune_to(5, Bytes{0xde, 0x1e});
+    ASSERT_NE(peer.get(5), nullptr);
+
+    // A wiped rejoiner adopts the peer's base block and continues from it.
+    BlockStore rejoiner;
+    rejoiner.rebase(*peer.get(5), Bytes{0xde, 0x1e});
+    EXPECT_EQ(rejoiner.base_height(), 5u);
+    EXPECT_EQ(rejoiner.head_height(), 5u);
+    EXPECT_EQ(rejoiner.head_hash(), peer.get(5)->hash());
+    ASSERT_TRUE(rejoiner.anchor().has_value());
+    EXPECT_EQ(rejoiner.anchor()->base_height, 5u);
+    EXPECT_EQ(rejoiner.anchor()->base_hash, peer.get(5)->hash());
+    EXPECT_EQ(rejoiner.anchor()->evidence, (Bytes{0xde, 0x1e}));
+    EXPECT_EQ(rejoiner.get(0), nullptr);  // genesis discarded with the prefix
+
+    // Normal appends continue the adopted chain.
+    for (Height h = 6; h <= 8; ++h) rejoiner.append(*peer.get(h));
+    EXPECT_EQ(rejoiner.head_hash(), peer.head_hash());
+    EXPECT_TRUE(rejoiner.validate(5, 8));
+}
+
+TEST(BlockStore, RebaseRejectsBaseAtOrBelowHead) {
+    BlockStore peer;
+    extend(peer, 4);
+    BlockStore store;
+    extend(store, 4);
+    EXPECT_THROW(store.rebase(*peer.get(3), Bytes{}), std::invalid_argument);
+    EXPECT_THROW(store.rebase(*peer.get(4), Bytes{}), std::invalid_argument);
+}
+
+TEST(BlockStore, RebasePersistsAcrossReload) {
+    const auto dir = std::filesystem::temp_directory_path() / "zc_rebase_store";
+    std::filesystem::remove_all(dir);
+
+    BlockStore peer;
+    extend(peer, 6);
+    peer.prune_to(4, Bytes{0x01});
+    {
+        BlockStore store(nullptr, dir);
+        store.rebase(*peer.get(4), Bytes{0x01});
+        store.append(*peer.get(5));
+    }
+    RecoveryReport report;
+    BlockStore reloaded = BlockStore::load(dir, nullptr, &report);
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(reloaded.base_height(), 4u);
+    EXPECT_EQ(reloaded.head_height(), 5u);
+    EXPECT_EQ(reloaded.head_hash(), peer.get(5)->hash());
+    ASSERT_TRUE(reloaded.anchor().has_value());
+    EXPECT_EQ(reloaded.anchor()->base_height, 4u);
+    std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace zc::chain

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "fleet/chaos.hpp"
+
+namespace zc::fleet {
+namespace {
+
+TEST(FleetChaos, EmptyByDefault) {
+    FleetChaos chaos;
+    EXPECT_TRUE(chaos.empty());
+}
+
+TEST(FleetChaos, StaggeredCrashesAllRestartWithinRun) {
+    const Duration run = seconds(40);
+    const FleetChaos chaos = FleetChaos::staggered(8, 2, run);
+    EXPECT_FALSE(chaos.empty());
+    ASSERT_FALSE(chaos.crashes.empty());
+    for (const auto& c : chaos.crashes) {
+        EXPECT_LT(c.train, 8u);
+        EXPECT_LT(c.node, 4u);
+        EXPECT_GT(c.restart_after, Duration::zero()) << "standard drill always restarts";
+        EXPECT_LT(c.at + c.restart_after, run) << "rejoin must fit inside the run";
+    }
+}
+
+TEST(FleetChaos, StaggeredCrashTimesAreDistinct) {
+    const FleetChaos chaos = FleetChaos::staggered(16, 2, seconds(60));
+    for (std::size_t i = 1; i < chaos.crashes.size(); ++i) {
+        EXPECT_LT(chaos.crashes[i - 1].at, chaos.crashes[i].at);
+    }
+}
+
+TEST(FleetChaos, DeadZonesCoverEveryThirdTrain) {
+    const FleetChaos chaos = FleetChaos::staggered(9, 1, seconds(30));
+    ASSERT_EQ(chaos.dead_zones.size(), 3u);
+    EXPECT_EQ(chaos.dead_zones[0].train, 0u);
+    EXPECT_EQ(chaos.dead_zones[1].train, 3u);
+    EXPECT_EQ(chaos.dead_zones[2].train, 6u);
+    for (const auto& z : chaos.dead_zones) {
+        EXPECT_GT(z.duration, Duration::zero());
+        EXPECT_LT(z.at + z.duration, seconds(30));
+    }
+}
+
+TEST(FleetChaos, DcOutageOnlyWithFailoverTarget) {
+    EXPECT_TRUE(FleetChaos::staggered(4, 1, seconds(30)).dc_outages.empty());
+    const FleetChaos chaos = FleetChaos::staggered(4, 2, seconds(30));
+    ASSERT_EQ(chaos.dc_outages.size(), 1u);
+    EXPECT_EQ(chaos.dc_outages[0].dc, 0u);
+    EXPECT_GT(chaos.dc_outages[0].duration, Duration::zero()) << "standard drill recovers";
+}
+
+TEST(FleetChaos, DeterministicForSameInputs) {
+    const FleetChaos a = FleetChaos::staggered(12, 2, seconds(45));
+    const FleetChaos b = FleetChaos::staggered(12, 2, seconds(45));
+    ASSERT_EQ(a.crashes.size(), b.crashes.size());
+    for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+        EXPECT_EQ(a.crashes[i].train, b.crashes[i].train);
+        EXPECT_EQ(a.crashes[i].node, b.crashes[i].node);
+        EXPECT_EQ(a.crashes[i].at, b.crashes[i].at);
+    }
+}
+
+}  // namespace
+}  // namespace zc::fleet

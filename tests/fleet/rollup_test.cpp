@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "fleet/rollup.hpp"
+#include "health/monitor.hpp"
+
+namespace zc::fleet {
+namespace {
+
+FleetSample sample_at(double t_s) {
+    FleetSample s;
+    s.at = millis_f(t_s * 1000.0);
+    s.trains = 4;
+    s.nodes_alive = 16;
+    s.head_sum = 100;
+    s.logged_sum = 1000;
+    s.exported_sum = 80;
+    s.backlog_sum = 20;
+    return s;
+}
+
+TEST(FleetRollup, CsvHasFixedColumnsAndOneRowPerSample) {
+    FleetRollup rollup;
+    rollup.add(sample_at(1.0));
+    rollup.add(sample_at(2.0));
+    const std::string csv = rollup.csv();
+    EXPECT_NE(csv.find("t_s,trains,nodes_alive,head_sum,logged_sum,exported_sum"),
+              std::string::npos);
+    EXPECT_NE(csv.find("1.000,4,16,100,1000,80,20,0,0,0"), std::string::npos);
+    EXPECT_NE(csv.find("2.000,4,16,100,1000,80,20,0,0,0"), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(FleetRollup, RendersDeterministically) {
+    FleetRollup a, b;
+    for (int i = 0; i < 5; ++i) {
+        a.add(sample_at(i * 0.5));
+        b.add(sample_at(i * 0.5));
+    }
+    EXPECT_EQ(a.csv(), b.csv());
+    EXPECT_EQ(a.json(), b.json());
+    EXPECT_EQ(a.json().front(), '[');
+    EXPECT_EQ(a.json().back(), ']');
+}
+
+TEST(FleetRollup, SummarizeCountsFiredAndNeverCleared) {
+    // Drive two real monitors: one sees a node crash and recover (fired,
+    // cleared), the other a crash that never heals (never cleared).
+    health::MonitorConfig mc;
+    health::HealthMonitor healed(mc), stuck(mc);
+
+    auto nodes = [](bool node0_alive, std::uint64_t decided) {
+        std::vector<health::NodeSample> v;
+        for (NodeId i = 0; i < 4; ++i) {
+            health::NodeSample s;
+            s.node = i;
+            s.alive = i != 0 || node0_alive;
+            s.decided = decided;
+            s.logged = decided;
+            s.head_height = decided / 10;
+            s.stable_height = decided / 10;
+            v.push_back(s);
+        }
+        return v;
+    };
+
+    healed.sample(seconds(1), nodes(true, 100));
+    healed.sample(seconds(2), nodes(false, 200));  // down -> alarm
+    healed.sample(seconds(3), nodes(true, 300));   // back -> clears
+    stuck.sample(seconds(1), nodes(true, 100));
+    stuck.sample(seconds(2), nodes(false, 200));
+    stuck.sample(seconds(3), nodes(false, 300));
+
+    const FleetAlarmSummary summary = FleetRollup::summarize({&healed, &stuck, nullptr});
+    const auto down = static_cast<unsigned>(health::AlarmKind::kNodeDown);
+    EXPECT_EQ(summary.fired[down], 2u);
+    EXPECT_EQ(summary.never_cleared[down], 1u);
+    EXPECT_GE(summary.total_fired, 2u);
+    EXPECT_EQ(summary.total_never_cleared, 1u);
+
+    const std::string json = summary.json();
+    EXPECT_NE(json.find("\"total_never_cleared\":1"), std::string::npos);
+    EXPECT_NE(json.find("node_down"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::fleet

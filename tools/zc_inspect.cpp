@@ -14,11 +14,24 @@
 //                                       delete the block files load
 //                                       refused to trust, print each one
 //
+// Fleet mode — a salvaged fleet store root with per-train subdirectories
+// (as written by `zugchain_sim --fleet N --store-dir DIR`, i.e.
+// DIR/train-<t>/node-<i>):
+//
+//   zc_inspect --store-dir DIR          per-train summary table, every
+//                                       shard store verified
+//   zc_inspect --store-dir DIR --verify strict: exit 0 only if every
+//                                       store is clean and validates
+//   zc_inspect --store-dir DIR --repair truncate torn tails in every
+//                                       store that has one
+//
 // Exit codes: 0 ok, 1 integrity/recovery findings, 2 usage,
 // 3 unrepairable store (no valid prefix behind the corruption).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -205,6 +218,101 @@ void health_summary(const chain::BlockStore& store) {
     }
 }
 
+/// Fleet store root: DIR/train-<t>/node-<i> per shard replica (a root
+/// holding bare node-<i> directories is treated as one unnamed train).
+/// Verifies (and with `repair`, truncates) every store and prints one row
+/// per replica plus a per-train verdict.
+int inspect_fleet_root(const std::string& root, bool verify, bool repair) {
+    namespace fs = std::filesystem;
+    // train label -> sorted node store directories
+    std::map<std::string, std::vector<fs::path>> trains;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(root, ec)) {
+        if (!entry.is_directory()) continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("train-", 0) == 0) {
+            auto& nodes = trains[name];
+            for (const auto& sub : fs::directory_iterator(entry.path())) {
+                if (sub.is_directory() &&
+                    sub.path().filename().string().rfind("node-", 0) == 0) {
+                    nodes.push_back(sub.path());
+                }
+            }
+        } else if (name.rfind("node-", 0) == 0) {
+            trains[""].push_back(entry.path());
+        }
+    }
+    if (ec) {
+        std::fprintf(stderr, "cannot read %s: %s\n", root.c_str(), ec.message().c_str());
+        return 2;
+    }
+    if (trains.empty()) {
+        std::fprintf(stderr, "%s: no train-*/node-* or node-* store directories\n",
+                     root.c_str());
+        return 2;
+    }
+    for (auto& [train, nodes] : trains) std::sort(nodes.begin(), nodes.end());
+
+    std::printf("fleet store root: %s (%zu trains)\n\n", root.c_str(), trains.size());
+    std::printf("%-10s %-8s %12s %10s %10s  %s\n", "train", "node", "blocks", "retained",
+                "discarded", "integrity");
+
+    int rc = 0;
+    std::size_t stores = 0, clean_stores = 0;
+    for (const auto& [train, nodes] : trains) {
+        const std::string train_label = train.empty() ? "(root)" : train;
+        bool train_clean = true;
+        for (const fs::path& dir : nodes) {
+            ++stores;
+            chain::RecoveryReport report;
+            chain::BlockStore store = chain::BlockStore::load(dir.string(), nullptr, &report);
+            const bool valid = store.validate(store.base_height(), store.head_height());
+            const bool clean = report.clean() && valid;
+
+            char range[32];
+            std::snprintf(range, sizeof range, "%llu..%llu",
+                          static_cast<unsigned long long>(store.base_height()),
+                          static_cast<unsigned long long>(store.head_height()));
+            std::printf("%-10s %-8s %12s %10zu %10llu  %s%s\n", train_label.c_str(),
+                        dir.filename().string().c_str(), range, store.size(),
+                        static_cast<unsigned long long>(report.blocks_discarded),
+                        valid ? (report.clean() ? "VERIFIED" : "RECOVERED") : "BROKEN",
+                        report.unrepairable ? " (UNREPAIRABLE)" : "");
+            for (const auto& note : report.notes) {
+                std::printf("%-10s %-8s   note: %s\n", "", "", note.c_str());
+            }
+
+            if (report.unrepairable) {
+                rc = 3;
+                train_clean = false;
+                continue;
+            }
+            if (repair && !report.discarded_files.empty()) {
+                for (const auto& file : report.discarded_files) {
+                    std::error_code rm_ec;
+                    fs::remove(fs::path(file), rm_ec);
+                    std::printf("%-10s %-8s   repair: removed %s%s\n", "", "", file.c_str(),
+                                rm_ec ? " (FAILED)" : "");
+                    if (rm_ec && rc == 0) rc = 1;
+                }
+                std::printf("%-10s %-8s   repair: truncated to block %llu\n", "", "",
+                            static_cast<unsigned long long>(report.recovered_head));
+            }
+            if (!clean) {
+                train_clean = false;
+                if (!repair && rc == 0) rc = 1;
+            } else {
+                ++clean_stores;
+            }
+        }
+        std::printf("%-10s %-8s %12s %10s %10s  %s\n", train_label.c_str(), "--", "", "", "",
+                    train_clean ? "shard ok" : "shard has findings");
+    }
+    std::printf("\n%zu/%zu stores clean\n", clean_stores, stores);
+    if (verify && clean_stores != stores && rc == 0) rc = 1;
+    return rc;
+}
+
 void print_recovery(const chain::RecoveryReport& report) {
     std::printf("recovery: %llu blocks restored, %llu discarded%s\n",
                 static_cast<unsigned long long>(report.blocks_loaded),
@@ -219,9 +327,20 @@ int main(int argc, char** argv) {
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: %s <store-dir> [--dump HEIGHT | --events | --health | --verify |"
-                     " --repair]\n",
-                     argv[0]);
+                     " --repair]\n"
+                     "       %s --store-dir <fleet-root> [--verify | --repair]\n",
+                     argv[0], argv[0]);
         return 2;
+    }
+
+    if (std::strcmp(argv[1], "--store-dir") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr, "usage: %s --store-dir <fleet-root> [--verify | --repair]\n",
+                         argv[0]);
+            return 2;
+        }
+        const std::string sub = argc >= 4 ? argv[3] : "";
+        return inspect_fleet_root(argv[2], sub == "--verify", sub == "--repair");
     }
 
     const std::string dir = argv[1];

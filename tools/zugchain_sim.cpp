@@ -12,6 +12,16 @@
 //                [--trace FILE] [--metrics FILE] [--json]
 //                [--health FILE] [--timeseries FILE] [--fail-on-alarm]
 //
+// Fleet mode (--fleet N): run N independent train shards on one virtual
+// clock, exporting into shared data centers (src/fleet). Reuses --seed,
+// --cycle-ms, --payload, --block-size, --batch-size, --duration-s,
+// --crypto, --store-dir (per-train subdirectories), --audit,
+// --fail-on-alarm and --json, plus:
+//
+//   zugchain_sim --fleet N [--fleet-dcs N] [--fleet-chaos]
+//                [--export-period-s S] [--trains-per-cell N]
+//                [--rollup FILE.csv|FILE.json]
+//
 // Examples:
 //   zugchain_sim --duration-s 60
 //   zugchain_sim --mode baseline --cycle-ms 32
@@ -24,6 +34,8 @@
 //                --flap 10:15:lte --duration-s 60   # export across an outage
 //   zugchain_sim --adversary equivocator:1 --audit  # compromise node 1,
 //                                                   # gate on the safety audit
+//   zugchain_sim --fleet 8 --fleet-chaos --audit --json   # CI fleet smoke:
+//                                                   # deterministic JSON, cmp-able
 //
 // Exit codes: 0 ok, 1 chains inconsistent, 2 usage, 3 health alarm
 // (with --fail-on-alarm; an alarm that fired and cleared — e.g. a crash
@@ -38,6 +50,7 @@
 
 #include "faults/auditor.hpp"
 #include "faults/profiles.hpp"
+#include "fleet/fleet.hpp"
 #include "health/flight_recorder.hpp"
 #include "health/monitor.hpp"
 #include "health/timeseries.hpp"
@@ -61,6 +74,15 @@ struct Args {
     bool json = false;
     bool audit = false;
 
+    // Fleet mode (--fleet N > 0 switches from the single-consist scenario
+    // to the src/fleet orchestrator).
+    std::uint32_t fleet = 0;
+    std::uint32_t fleet_dcs = 2;
+    bool fleet_chaos = false;
+    double export_period_s = 10.0;
+    std::uint32_t trains_per_cell = 8;
+    std::string rollup_file;
+
     static void usage(const char* argv0) {
         std::fprintf(stderr,
                      "usage: %s [--mode zugchain|baseline] [--n N] [--f F] [--cycle-ms MS]\n"
@@ -72,7 +94,10 @@ struct Args {
                      "          [--fabricator NODE] [--adversary PROFILE:NODE] [--audit]\n"
                      "          [--store-dir DIR] [--crypto fast|ed25519]\n"
                      "          [--trace FILE] [--metrics FILE] [--json]\n"
-                     "          [--health FILE] [--timeseries FILE] [--fail-on-alarm]\n",
+                     "          [--health FILE] [--timeseries FILE] [--fail-on-alarm]\n"
+                     "          [--fleet N] [--fleet-dcs N] [--fleet-chaos]\n"
+                     "          [--export-period-s S] [--trains-per-cell N]\n"
+                     "          [--rollup FILE.csv|FILE.json]\n",
                      argv0);
         std::exit(2);
     }
@@ -207,6 +232,18 @@ struct Args {
                 args.health_file = need_value(i);
             } else if (flag == "--timeseries") {
                 args.timeseries_file = need_value(i);
+            } else if (flag == "--fleet") {
+                args.fleet = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+            } else if (flag == "--fleet-dcs") {
+                args.fleet_dcs = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+            } else if (flag == "--fleet-chaos") {
+                args.fleet_chaos = true;
+            } else if (flag == "--export-period-s") {
+                args.export_period_s = std::atof(need_value(i));
+            } else if (flag == "--trains-per-cell") {
+                args.trains_per_cell = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+            } else if (flag == "--rollup") {
+                args.rollup_file = need_value(i);
             } else if (flag == "--fail-on-alarm") {
                 args.fail_on_alarm = true;
             } else if (flag == "--json") {
@@ -236,6 +273,94 @@ void write_text_file(const std::string& path, const std::string& content) {
         std::exit(1);
     }
     out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+/// Fleet mode: N shards, shared DCs, one deterministic report. The JSON
+/// output (--json) is byte-identical across same-seed runs so CI can cmp
+/// two invocations for the determinism gate.
+int run_fleet(const Args& args) {
+    fleet::FleetConfig cfg;
+    cfg.trains = args.fleet;
+    cfg.seed = args.cfg.seed;
+    cfg.train = args.cfg;
+    cfg.dc_count = args.fleet_dcs;
+    cfg.trains_per_cell = args.trains_per_cell;
+    cfg.export_period = millis_f(args.export_period_s * 1000.0);
+    cfg.duration = args.cfg.duration;
+    cfg.store_root = args.cfg.store_root;
+    cfg.audit = args.audit;
+    if (args.fleet_chaos) {
+        cfg.chaos = fleet::FleetChaos::staggered(cfg.trains, cfg.dc_count,
+                                                 cfg.warmup + cfg.duration);
+    }
+    for (const auto& [node, byz] : args.cfg.byzantine) {
+        cfg.byzantine[0][node] = byz;  // adversaries land on train 0
+    }
+
+    fleet::Fleet fleet(cfg);
+    fleet.run();
+    const fleet::FleetReport report = fleet.report();
+
+    if (!args.rollup_file.empty()) {
+        const bool as_json = args.rollup_file.size() >= 5 &&
+                             args.rollup_file.compare(args.rollup_file.size() - 5, 5,
+                                                      ".json") == 0;
+        write_text_file(args.rollup_file,
+                        as_json ? fleet.rollup().json() : fleet.rollup().csv());
+    }
+
+    int rc = report.cross_shard_collisions == 0 ? 0 : 1;
+    if (rc == 0 && args.fail_on_alarm && report.alarms.total_never_cleared > 0) rc = 3;
+    if (args.audit && report.audit_violations > 0) rc = 4;
+
+    if (args.json) {
+        std::printf("%s\n", report.json().c_str());
+        return rc;
+    }
+
+    std::printf("zugchain_sim: fleet=%u dcs=%u cycle=%lld ms payload=%zu "
+                "export-period=%.1f s duration=%.0f s seed=%llu%s%s\n",
+                report.trains, report.dc_count,
+                static_cast<long long>(args.cfg.bus_cycle.count() / 1'000'000),
+                args.cfg.payload_size, args.export_period_s, to_seconds(cfg.duration),
+                static_cast<unsigned long long>(cfg.seed),
+                args.fleet_chaos ? " chaos=staggered" : "",
+                args.audit ? " audit=on" : "");
+
+    std::printf("\n-- fleet --\n");
+    std::printf("logged (unique, fleet)  : %llu\n",
+                static_cast<unsigned long long>(report.logged_sum));
+    std::printf("archived unique / dup   : %llu / %llu\n",
+                static_cast<unsigned long long>(report.exported_unique),
+                static_cast<unsigned long long>(report.exported_duplicates));
+    std::printf("exports ok / failed     : %llu / %llu\n",
+                static_cast<unsigned long long>(report.exports_completed),
+                static_cast<unsigned long long>(report.exports_failed));
+    std::printf("ingest dropped          : %llu\n",
+                static_cast<unsigned long long>(report.ingest_dropped));
+    std::printf("cross-shard collisions  : %llu\n",
+                static_cast<unsigned long long>(report.cross_shard_collisions));
+    std::printf("alarms fired / stuck    : %llu / %llu\n",
+                static_cast<unsigned long long>(report.alarms.total_fired),
+                static_cast<unsigned long long>(report.alarms.total_never_cleared));
+    if (args.audit) {
+        std::printf("audit violations        : %llu\n",
+                    static_cast<unsigned long long>(report.audit_violations));
+    }
+
+    std::printf("\n-- per train --\n");
+    std::printf("%6s %6s %8s %10s %10s %8s %7s %7s\n", "train", "alive", "head", "logged",
+                "archived", "exports", "failed", "alarms");
+    for (const fleet::TrainReport& t : report.per_train) {
+        std::printf("%6u %6u %8llu %10llu %10llu %8llu %7llu %7llu\n", t.train, t.nodes_alive,
+                    static_cast<unsigned long long>(t.head),
+                    static_cast<unsigned long long>(t.logged),
+                    static_cast<unsigned long long>(t.exported_head),
+                    static_cast<unsigned long long>(t.exports_completed),
+                    static_cast<unsigned long long>(t.exports_failed),
+                    static_cast<unsigned long long>(t.active_alarms));
+    }
+    return rc;
 }
 
 void print_json_report(const Args& args, const runtime::ScenarioReport& r, bool consistent,
@@ -288,6 +413,8 @@ void print_json_report(const Args& args, const runtime::ScenarioReport& r, bool 
 
 int main(int argc, char** argv) {
     Args args = Args::parse(argc, argv);
+
+    if (args.fleet > 0) return run_fleet(args);
 
     // Tracing/metrics: one sink shared by all nodes and data centers.
     // Event capture is only needed for the Chrome trace; the metrics dump
