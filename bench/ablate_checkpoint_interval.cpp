@@ -6,25 +6,34 @@
 // more often but cost signatures and messages; larger intervals cut
 // overhead but leave more recent blocks uncertified (and thus unexportable
 // and unprunable) and grow the PBFT message log between checkpoints.
+//
+// --quick runs a single-seed, shortened sweep (CI smoke).
+#include <cstring>
+
 #include "bench_util.hpp"
 
 using namespace zc;
 using namespace zc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    HostProfiler host;
+
     print_header("Ablation: checkpoint interval / block size (64 ms cycle, 1 kB)");
     std::printf("%10s | %12s | %10s | %12s | %12s\n", "interval", "latency ms", "cpu %400",
                 "net util %", "mem avg MB");
 
+    std::vector<BenchRow> rows;
     for (const SeqNo interval : {SeqNo{1}, SeqNo{5}, SeqNo{10}, SeqNo{25}, SeqNo{50}}) {
         ScenarioConfig cfg = paper_config();
-        cfg.duration = seconds(45);
+        cfg.duration = quick ? seconds(10) : seconds(45);
         cfg.block_size = interval;
 
-        const RunMeasurement m = run_averaged(cfg, 2);
+        const RunMeasurement m = quick ? run_once(cfg) : run_averaged(cfg, 2);
         std::printf("%10llu | %12.2f | %9.1f%% | %12.3f | %12.2f\n",
                     static_cast<unsigned long long>(interval), m.latency_mean_ms, m.cpu_pct_400,
                     m.net_util_pct, m.mem_avg_mb);
+        rows.push_back({"interval=" + std::to_string(interval), m, {}});
     }
 
     print_footnote(
@@ -32,5 +41,6 @@ int main() {
         "block) after every request — highest CPU/network; very large intervals\n"
         "save overhead but hold more undecided state and delay export eligibility.\n"
         "The paper's 10 sits at the knee.");
+    write_bench_json("ablate_checkpoint", rows, quick);
     return 0;
 }

@@ -15,6 +15,10 @@
 //     delay is detected and a view change restores normal latency. With
 //     the soft path disabled, hard timers are never armed: no suspicion,
 //     and every request permanently pays the delay.
+//
+// --quick runs shortened rows (CI smoke).
+#include <cstring>
+
 #include "bench_util.hpp"
 
 using namespace zc;
@@ -22,9 +26,12 @@ using namespace zc::bench;
 
 namespace {
 
+bool g_quick = false;
+std::vector<BenchRow> g_rows;
+
 void run_row(const char* label, Duration soft, Duration hard, Duration primary_delay) {
     ScenarioConfig cfg = paper_config();
-    cfg.duration = seconds(45);
+    cfg.duration = g_quick ? seconds(10) : seconds(45);
     cfg.soft_timeout = soft;
     cfg.hard_timeout = hard;
     if (primary_delay > Duration::zero()) {
@@ -51,11 +58,22 @@ void run_row(const char* label, Duration soft, Duration hard, Duration primary_d
                 tail.empty() ? -1.0 : tail.mean(), r.mean_egress_utilization * 100.0,
                 static_cast<unsigned long long>(r.suspects),
                 static_cast<unsigned long long>(view_changes));
+
+    BenchRow row;
+    row.config = std::string(primary_delay > Duration::zero() ? "delayed " : "faultfree ") +
+                 label;
+    row.m = measure(r);
+    row.extra = {{"tail_latency_ms", tail.empty() ? -1.0 : tail.mean()},
+                 {"view_changes", static_cast<double>(view_changes)}};
+    g_rows.push_back(std::move(row));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    g_quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    HostProfiler host;
+
     print_header("Ablation A: soft timeout cost in fault-free operation");
     std::printf("%-22s | %10s | %12s | %12s | %8s | %6s\n", "soft timeout", "lat ms",
                 "tail lat ms", "net util %", "suspects", "VCs");
@@ -75,5 +93,6 @@ int main() {
         "(higher network + CPU) the communication layer exists to remove; in B,\n"
         "only the soft->hard timer chain detects the stalling primary (suspects,\n"
         "view change, low tail latency) — without it, the delay is permanent.");
+    write_bench_json("ablate_soft_timeout", g_rows, g_quick);
     return 0;
 }

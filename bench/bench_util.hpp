@@ -11,6 +11,7 @@
 
 #include "health/flight_recorder.hpp"
 #include "health/monitor.hpp"
+#include "prof/prof.hpp"
 #include "runtime/scenario.hpp"
 #include "trace/trace.hpp"
 
@@ -125,14 +126,24 @@ struct BenchRow {
 };
 
 /// Writes `BENCH_<name>.json` into the working directory so CI can diff
-/// benchmark results across commits. Deterministic: fixed precision, row
-/// order as given. Schema:
-///   {"bench":"fig6","rows":[{"config":"...","latency_mean_ms":..,
-///    "latency_p99_ms":..,"net_util_pct":..,"cpu_pct_total":..,
-///    "mem_avg_mb":..,"mem_peak_mb":..,"total_bytes":..,"logged":..,
-///    "blocks":..,"rx_dropped":..,"rate_limited":..},...]}
-inline void write_bench_json(const std::string& name, const std::vector<BenchRow>& rows) {
-    std::string out = "{\"bench\":\"" + name + "\",\"rows\":[";
+/// benchmark results across commits. The virtual-metric rows are
+/// deterministic: fixed precision, row order as given. Schema:
+///   {"bench":"fig6","quick":false,"rows":[{"config":"...",
+///    "latency_mean_ms":..,"latency_p99_ms":..,"net_util_pct":..,
+///    "cpu_pct_total":..,"mem_avg_mb":..,"mem_peak_mb":..,
+///    "total_bytes":..,"logged":..,"blocks":..,"rx_dropped":..,
+///    "rate_limited":..},...],"host":{...}}
+/// `quick` records whether the bench ran its trimmed CI row set, so
+/// zc_benchdiff only compares counts against results of the same depth.
+/// The trailing `host` block (sim_rate, per-subsystem self seconds, peak
+/// RSS; present when a prof::Profiler is active) is the one
+/// machine-varying section — tooling compares it with loose tolerances
+/// or not at all.
+inline void write_bench_json(const std::string& name, const std::vector<BenchRow>& rows,
+                             bool quick = false) {
+    std::string out = "{\"bench\":\"" + name + "\",\"quick\":";
+    out += quick ? "true" : "false";
+    out += ",\"rows\":[";
     char buf[512];
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const RunMeasurement& m = rows[i].m;
@@ -153,7 +164,11 @@ inline void write_bench_json(const std::string& name, const std::vector<BenchRow
             out += buf;
         }
     }
-    out += "]}\n";
+    out += "]";
+    if (const prof::Profiler* profiler = prof::Profiler::active(); profiler != nullptr) {
+        out += ",\"host\":" + profiler->snapshot().json();
+    }
+    out += "}\n";
     const std::string path = "BENCH_" + name + ".json";
     std::ofstream f(path, std::ios::binary | std::ios::trunc);
     if (!f) {
@@ -188,6 +203,23 @@ inline void print_header(const std::string& title) {
 }
 
 inline void print_footnote(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Activates a host-cost profiler for the lifetime of a bench main(), so
+/// every write_bench_json() call embeds a `host` block (sim_rate,
+/// per-subsystem seconds, peak RSS). Declared first in main(): the whole
+/// bench, including scenario construction, is then attributed.
+class HostProfiler {
+public:
+    HostProfiler() { prof::Profiler::set_active(&profiler_); }
+    ~HostProfiler() { prof::Profiler::set_active(nullptr); }
+    HostProfiler(const HostProfiler&) = delete;
+    HostProfiler& operator=(const HostProfiler&) = delete;
+
+    const prof::Profiler& profiler() const noexcept { return profiler_; }
+
+private:
+    prof::Profiler profiler_;
+};
 
 /// Default experiment base: the paper's testbed parameters.
 inline ScenarioConfig paper_config() {

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     // Batching needs a linger window to accumulate; default to 2 ms when
     // only --batch-size was given.
     if (batch_size > 1 && batch_linger_us == 0) batch_linger_us = 2000;
+    HostProfiler host;
     const Duration batch_linger = microseconds(batch_linger_us);
 
     print_header(
@@ -182,7 +183,7 @@ int main(int argc, char** argv) {
         bench_rows.push_back(std::move(row_ba));
     }
 
-    write_bench_json("fig6", bench_rows);
+    write_bench_json("fig6", bench_rows, quick);
 
     if (clean_alarmed) {
         std::printf("WARNING: health watchdog alarmed on a fault-free run\n");

@@ -3,28 +3,37 @@
 // baseline's; baseline memory is 1.7-1.8x ZugChain's, spiking to ~6.3x at
 // the overloaded 32 ms cycle; ZugChain never exceeds 15 % of the device's
 // total (4-core) CPU budget.
+//
+// --quick runs a single-seed, shortened sweep (CI smoke).
+#include <cstring>
+
 #include "bench_util.hpp"
 
 using namespace zc;
 using namespace zc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    HostProfiler host;
+
     print_header("Fig. 7 (left): CPU & memory vs bus cycle (payload 1 kB)");
     std::printf("%8s | %11s %11s %8s | %11s %11s %8s | %10s %9s\n", "cycle", "ZC cpu%",
                 "BL cpu%", "ZC/BL", "ZC mem MB", "BL mem MB", "mem x", "paper cpu", "paper mem");
     std::printf("%8s | %11s %11s %8s | %11s %11s %8s | %10s %9s\n", "", "(of 400%)",
                 "(of 400%)", "", "(avg)", "(avg)", "", "ZC/BL", "x");
 
+    std::vector<BenchRow> bench_rows;
     double worst_pct_total = 0.0;
     for (const int cycle_ms : {32, 64, 128, 256}) {
         ScenarioConfig cfg = paper_config();
         cfg.bus_cycle = milliseconds(cycle_ms);
+        if (quick) cfg.duration = seconds(10);
 
         cfg.mode = Mode::kZugChain;
-        const RunMeasurement zc_m = run_averaged(cfg);
+        const RunMeasurement zc_m = quick ? run_once(cfg) : run_averaged(cfg);
 
         cfg.mode = Mode::kBaseline;
-        const RunMeasurement bl_m = run_averaged(cfg);
+        const RunMeasurement bl_m = quick ? run_once(cfg) : run_averaged(cfg);
 
         worst_pct_total = std::max(worst_pct_total, zc_m.cpu_pct_total);
         const double cpu_ratio = bl_m.cpu_pct_400 > 0 ? zc_m.cpu_pct_400 / bl_m.cpu_pct_400 : 0;
@@ -33,10 +42,15 @@ int main() {
                     cycle_ms, zc_m.cpu_pct_400, bl_m.cpu_pct_400, cpu_ratio * 100.0,
                     zc_m.mem_avg_mb, bl_m.mem_avg_mb, mem_x, "25-31%",
                     cycle_ms == 32 ? "~6.3" : "1.7-1.8");
+
+        const std::string label = "cycle=" + std::to_string(cycle_ms) + "ms";
+        bench_rows.push_back({"zugchain " + label, zc_m, {}});
+        bench_rows.push_back({"baseline " + label, bl_m, {}});
     }
 
     std::printf(
         "\nZugChain max CPU usage: %.1f%% of the device's total CPU  [paper: <= 15%%]\n",
         worst_pct_total);
+    write_bench_json("fig7_cycle", bench_rows, quick);
     return 0;
 }

@@ -1,32 +1,46 @@
 // Reproduces Fig. 7 (right): CPU and memory usage vs payload size at the
 // 64 ms bus cycle. Paper reference shapes: ZugChain's CPU 24-26 % of the
 // baseline's; baseline memory 1.6-1.7x ZugChain's.
+//
+// --quick runs a single-seed, shortened sweep (CI smoke).
+#include <cstring>
+
 #include "bench_util.hpp"
 
 using namespace zc;
 using namespace zc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    HostProfiler host;
+
     print_header("Fig. 7 (right): CPU & memory vs payload size (64 ms cycle)");
     std::printf("%8s | %11s %11s %8s | %11s %11s %8s | %10s %9s\n", "payload", "ZC cpu%",
                 "BL cpu%", "ZC/BL", "ZC mem MB", "BL mem MB", "mem x", "paper cpu", "paper mem");
 
+    std::vector<BenchRow> bench_rows;
     for (const std::size_t payload : {std::size_t{32}, std::size_t{256}, std::size_t{1024},
                                       std::size_t{4096}, std::size_t{8192}}) {
         ScenarioConfig cfg = paper_config();
         cfg.payload_size = payload;
+        if (quick) cfg.duration = seconds(10);
 
         cfg.mode = Mode::kZugChain;
-        const RunMeasurement zc_m = run_averaged(cfg);
+        const RunMeasurement zc_m = quick ? run_once(cfg) : run_averaged(cfg);
 
         cfg.mode = Mode::kBaseline;
-        const RunMeasurement bl_m = run_averaged(cfg);
+        const RunMeasurement bl_m = quick ? run_once(cfg) : run_averaged(cfg);
 
         const double cpu_ratio = bl_m.cpu_pct_400 > 0 ? zc_m.cpu_pct_400 / bl_m.cpu_pct_400 : 0;
         const double mem_x = zc_m.mem_avg_mb > 0 ? bl_m.mem_avg_mb / zc_m.mem_avg_mb : 0;
         std::printf("%6zu B | %10.1f%% %10.1f%% %7.0f%% | %11.1f %11.1f %7.2fx | %10s %9s\n",
                     payload, zc_m.cpu_pct_400, bl_m.cpu_pct_400, cpu_ratio * 100.0,
                     zc_m.mem_avg_mb, bl_m.mem_avg_mb, mem_x, "24-26%", "1.6-1.7");
+
+        const std::string label = "payload=" + std::to_string(payload);
+        bench_rows.push_back({"zugchain " + label, zc_m, {}});
+        bench_rows.push_back({"baseline " + label, bl_m, {}});
     }
+    write_bench_json("fig7_payload", bench_rows, quick);
     return 0;
 }

@@ -10,6 +10,10 @@
 //      network utilization drops; no view change.
 //
 // An ablation row runs the 100 % flood with the rate limiter disabled.
+//
+// --quick runs single-seed, shortened rows (CI smoke).
+#include <cstring>
+
 #include "bench_util.hpp"
 #include "faults/profiles.hpp"
 
@@ -18,10 +22,12 @@ using namespace zc::bench;
 
 namespace {
 
+bool g_quick = false;
+
 RunMeasurement run_byz(double fabricate, Duration delay, bool limiter,
                        std::uint32_t burst = 1) {
     ScenarioConfig cfg = paper_config();
-    cfg.duration = seconds(45);
+    cfg.duration = g_quick ? seconds(10) : seconds(45);
     // The open-request limit is "calculated based on the bus frequency"
     // (§III-C); a handful of cycles' worth. Disabled for the ablation.
     cfg.max_open_per_origin = limiter ? 8 : (1u << 20);
@@ -37,7 +43,7 @@ RunMeasurement run_byz(double fabricate, Duration delay, bool limiter,
         byz.preprepare_delay = delay;
         cfg.byzantine[0] = byz;  // the (initial) primary
     }
-    return run_averaged(cfg);
+    return g_quick ? run_once(cfg) : run_averaged(cfg);
 }
 
 void print_row(const char* name, const RunMeasurement& m, const RunMeasurement& base,
@@ -52,24 +58,35 @@ void print_row(const char* name, const RunMeasurement& m, const RunMeasurement& 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    g_quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    HostProfiler host;
+
     print_header("Fig. 9: Byzantine behaviour (64 ms cycle, 1 kB payloads)");
     std::printf("%-22s | %15s | %15s | %16s | %16s | %s\n", "scenario", "cpu (of 400%)",
                 "mem MB (avg)", "latency ms", "net util", "paper delta (cpu/mem/lat)");
 
-    const RunMeasurement base = run_byz(0.0, Duration::zero(), true);
+    std::vector<BenchRow> bench_rows;
+    const auto keep = [&bench_rows](const char* name, const RunMeasurement& m) {
+        bench_rows.push_back({name, m, {}});
+        return m;
+    };
+
+    const RunMeasurement base = keep("normal", run_byz(0.0, Duration::zero(), true));
     print_row("normal", base, base, "-");
 
-    print_row("fabricate 25%", run_byz(0.25, Duration::zero(), true), base,
-              "+20% / +0.7% / +22%");
-    print_row("fabricate 75%", run_byz(0.75, Duration::zero(), true), base,
-              "+68% / +1.6% / +60%");
-    print_row("fabricate 100%", run_byz(1.0, Duration::zero(), true), base,
-              "+92% / +294% / +277%");
+    print_row("fabricate 25%", keep("fabricate 25%", run_byz(0.25, Duration::zero(), true)),
+              base, "+20% / +0.7% / +22%");
+    print_row("fabricate 75%", keep("fabricate 75%", run_byz(0.75, Duration::zero(), true)),
+              base, "+68% / +1.6% / +60%");
+    print_row("fabricate 100%", keep("fabricate 100%", run_byz(1.0, Duration::zero(), true)),
+              base, "+92% / +294% / +277%");
 
     // DoS-flood ablation: 4 fabricated requests per cycle.
-    const RunMeasurement flood_on = run_byz(1.0, Duration::zero(), true, 4);
-    const RunMeasurement flood_off = run_byz(1.0, Duration::zero(), false, 4);
+    const RunMeasurement flood_on =
+        keep("flood x4 limiter on", run_byz(1.0, Duration::zero(), true, 4));
+    const RunMeasurement flood_off =
+        keep("flood x4 limiter off", run_byz(1.0, Duration::zero(), false, 4));
     print_row("flood x4, limiter on", flood_on, base, "(ablation: flood capped)");
     print_row("flood x4, limiter OFF", flood_off, base, "(ablation: flood unbounded)");
     std::printf("  flood ablation: limiter on  -> %llu floods shed, %llu real records logged\n",
@@ -79,8 +96,10 @@ int main() {
                 "(log starves)\n",
                 static_cast<unsigned long long>(flood_off.rate_limited),
                 static_cast<unsigned long long>(flood_off.logged));
-    print_row("primary delay 250ms", run_byz(0.0, milliseconds(250), true), base,
+    print_row("primary delay 250ms",
+              keep("primary delay 250ms", run_byz(0.0, milliseconds(250), true)), base,
               "latency up, network down");
+    write_bench_json("fig9", bench_rows, g_quick);
 
     print_footnote(
         "\nWith rate limiting, fabricated floods stay within JRU performance bounds\n"

@@ -54,6 +54,7 @@ fleet::FleetConfig fleet_config(std::uint32_t trains, Duration duration) {
 
 int main(int argc, char** argv) {
     const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    HostProfiler host;
 
     print_header(quick ? "Fleet scaling (quick): shards -> shared data centers"
                        : "Fleet scaling: 10..100 trains -> shared data centers");
@@ -117,7 +118,7 @@ int main(int argc, char** argv) {
         };
         rows.push_back(std::move(row));
     }
-    write_bench_json("scale_fleet", rows);
+    write_bench_json("scale_fleet", rows, quick);
 
     print_footnote(
         "\nExpected shape: telegram throughput scales linearly in fleet size (shards\n"

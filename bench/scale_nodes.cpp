@@ -3,12 +3,17 @@
 // larger consists would deploy more nodes). PBFT traffic grows O(n^2), so
 // this sweep shows how far the opportunistic-hardware approach stretches
 // before the 64 ms cycle budget is threatened.
+#include <cstring>
+
 #include "bench_util.hpp"
 
 using namespace zc;
 using namespace zc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    HostProfiler host;
+
     print_header("Scaling: cluster size at the 64 ms cycle, 1 kB payloads (ZugChain)");
     std::printf("%6s %4s | %12s %12s | %10s | %12s | %10s\n", "n", "f", "lat ms", "p99 ms",
                 "cpu %400", "net util %", "blocks");
@@ -18,7 +23,7 @@ int main() {
         ScenarioConfig cfg = paper_config();
         cfg.n = n;
         cfg.f = f;
-        cfg.duration = seconds(45);
+        cfg.duration = quick ? seconds(10) : seconds(45);
 
         Scenario s(cfg);
         s.run();
@@ -34,7 +39,7 @@ int main() {
         row.m = measure(r);
         rows.push_back(std::move(row));
     }
-    write_bench_json("scale_nodes", rows);
+    write_bench_json("scale_nodes", rows, quick);
 
     print_footnote(
         "\nExpected shape: latency grows mildly (quorum waits stay one round trip);\n"

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
         }
     }
     if (batch_size > 1 && batch_linger_us == 0) batch_linger_us = 2000;
+    HostProfiler host;
 
     print_header("Table II: export latency (read / delete / verify) over LTE");
     std::printf("%8s | %9s %9s %9s | %9s | %9s %9s\n", "#blocks", "read s", "delete s",
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
         bench_rows.push_back(std::move(bench_row));
     }
 
-    write_bench_json("table2", bench_rows);
+    write_bench_json("table2", bench_rows, quick);
 
     print_footnote(
         "\nNote: the read step (waiting for 2f+1 checkpoint replies plus the full\n"

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "crypto/sha256.hpp"
+#include "prof/prof.hpp"
 
 namespace zc::chain {
 
@@ -137,6 +138,7 @@ void BlockStore::release_accounting() noexcept {
 
 BlockStore BlockStore::load(const std::filesystem::path& dir, metrics::Gauge* gauge,
                             RecoveryReport* report) {
+    ZC_PROF_SCOPE(kStoreLoad);
     RecoveryReport local;
     RecoveryReport& rep = report != nullptr ? *report : local;
     rep = RecoveryReport{};
@@ -277,6 +279,7 @@ void BlockStore::persist(const Block& block) const {
 }
 
 void BlockStore::append(Block block) {
+    ZC_PROF_SCOPE(kStoreAppend);
     if (block.header.height != head_height_ + 1)
         throw std::invalid_argument("block height does not extend head");
     if (block.header.parent_hash != head_hash_)

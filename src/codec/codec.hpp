@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "prof/prof.hpp"
 
 namespace zc::codec {
 
@@ -105,8 +106,12 @@ private:
 };
 
 /// Round-trip helpers for message types with encode/decode members.
+/// These are the codec choke points every wire message funnels through,
+/// so they carry the host-profiler attribution scopes (one branch when
+/// profiling is off).
 template <typename T>
 Bytes encode_to_bytes(const T& msg) {
+    ZC_PROF_SCOPE(kCodecEncode);
     Writer w;
     msg.encode(w);
     return w.take();
@@ -114,6 +119,7 @@ Bytes encode_to_bytes(const T& msg) {
 
 template <typename T>
 T decode_from_bytes(BytesView data) {
+    ZC_PROF_SCOPE(kCodecDecode);
     Reader r(data);
     T msg = T::decode(r);
     r.expect_done();

@@ -15,6 +15,7 @@
 #include "common/ids.hpp"
 #include "crypto/provider.hpp"
 #include "metrics/cost_model.hpp"
+#include "prof/prof.hpp"
 
 namespace zc::crypto {
 
@@ -62,6 +63,7 @@ public:
 
     /// Signs with this principal's key; charges sign + hash cost.
     Signature sign(BytesView message) {
+        ZC_PROF_SCOPE(kCryptoSign);
         meter_.add(costs_.sign_msg(message.size()));
         return provider_.sign(key_, message);
     }
@@ -69,6 +71,7 @@ public:
     /// Verifies a signature by `signer`; charges verify + hash cost.
     /// Unknown signers fail verification (permissioned membership).
     bool verify(std::uint32_t signer, BytesView message, const Signature& sig) {
+        ZC_PROF_SCOPE(kCryptoVerify);
         meter_.add(costs_.verify_msg(message.size()));
         if (!directory_.known(signer)) return false;
         return provider_.verify(directory_.key_of(signer), message, sig);

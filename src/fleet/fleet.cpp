@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "prof/prof.hpp"
 
 namespace zc::fleet {
 
@@ -20,6 +21,9 @@ Fleet::Fleet(FleetConfig config)
 Fleet::~Fleet() = default;
 
 void Fleet::build() {
+    ZC_PROF_SCOPE(kSetup);
+    sim_.set_profiler(prof::Profiler::active());
+
     // Fleet-shared data-center keys, drawn before any shard so the key
     // stream is independent of the fleet size.
     Rng dcrng = sim_.rng().fork("fleet-dc-keys");
@@ -67,7 +71,15 @@ void Fleet::build() {
         cfg.auditor = config_.audit ? auditors_.back().get() : nullptr;
         cfg.health_monitor = nullptr;       // the fleet drives sampling itself
         cfg.health_timeseries = nullptr;
-        cfg.trace_sink = config_.trace_sink;
+        // Shard trace events are remapped into the train's pid band so a
+        // single Tracer yields one merged fleet trace (see trace_pid()).
+        if (config_.trace_sink != nullptr) {
+            shard_sinks_.push_back(
+                std::make_unique<trace::OffsetSink>(*config_.trace_sink, trace_pid(t, 0)));
+            cfg.trace_sink = shard_sinks_.back().get();
+        } else {
+            cfg.trace_sink = nullptr;
+        }
         cfg.byzantine.clear();
         const auto byz = config_.byzantine.find(t);
         if (byz != config_.byzantine.end()) cfg.byzantine = byz->second;
@@ -236,6 +248,7 @@ void Fleet::sample_tick() {
 }
 
 void Fleet::audit_shard(TrainId train) {
+    ZC_PROF_SCOPE(kAudit);
     std::vector<faults::ReplicaView> replicas = shards_[train]->replica_views();
     std::vector<faults::DataCenterView> dcs;
     dcs.reserve(dcs_.size());

@@ -34,6 +34,7 @@
 #include "fleet/rollup.hpp"
 #include "health/monitor.hpp"
 #include "runtime/scenario.hpp"
+#include "trace/trace.hpp"
 
 namespace zc::fleet {
 
@@ -91,6 +92,15 @@ struct FleetConfig {
 
     trace::TraceSink* trace_sink = nullptr;
 };
+
+/// Merged-trace pid plan: every train shard gets a disjoint 1000-wide pid
+/// band (train t, node i -> 1000*(t+1)+i) while the shared data centers
+/// keep the single-consist convention (DC d -> 100+d). Process labels and
+/// tests use these helpers so the mapping has exactly one definition.
+inline constexpr NodeId trace_pid(TrainId train, NodeId node) noexcept {
+    return 1000u * (train + 1u) + node;
+}
+inline constexpr NodeId dc_trace_pid(DataCenterId dc) noexcept { return 100u + dc; }
 
 struct TrainReport {
     TrainId train = 0;
@@ -170,6 +180,7 @@ private:
     std::unique_ptr<crypto::CryptoProvider> provider_;
     std::vector<crypto::KeyPair> dc_keys_;
     std::vector<std::unique_ptr<net::Network>> networks_;
+    std::vector<std::unique_ptr<trace::OffsetSink>> shard_sinks_;
     std::vector<std::unique_ptr<faults::SafetyAuditor>> auditors_;
     std::vector<std::unique_ptr<runtime::TrainShard>> shards_;
     FleetIndex index_;

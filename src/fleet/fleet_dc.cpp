@@ -1,5 +1,8 @@
 #include "fleet/fleet_dc.hpp"
 
+#include <variant>
+
+#include "prof/prof.hpp"
 #include "runtime/wire.hpp"
 
 namespace zc::fleet {
@@ -80,12 +83,33 @@ struct FleetDataCenter::ShardRig final : net::Endpoint, exporter::DcTransport {
     void deliver(net::EndpointId from, Bytes message) override {
         (void)from;
         if (host.down_) return;
-        host.executor_.submit([this, msg = std::move(message)] {
+        // Enqueue time feeds the ingest-queue span: how long this message
+        // waited for a shared executor core (arg = wire bytes, trace = train).
+        const TimePoint enqueued = host.sim_.now();
+        host.executor_.submit([this, enqueued, msg = std::move(message)] {
+            ZC_PROF_SCOPE(kDcIngest);
+            if (host.trace_ != nullptr) {
+                host.trace_->span(kDcBase + host.config_.id, enqueued,
+                                  host.sim_.now() - enqueued, trace::Phase::kDcIngestQueue,
+                                  train, msg.size());
+            }
             crypto.charge(host.dc_costs_.handle(msg.size()));
             const auto envelope = runtime::decode_envelope(msg);
             if (envelope && envelope->channel == runtime::Channel::kExport) {
                 const auto m = exporter::decode_export_message(envelope->body);
-                if (m) core->on_message(*m);
+                if (m) {
+                    if (std::holds_alternative<exporter::DcSync>(*m)) {
+                        ZC_PROF_SCOPE(kDcSync);
+                        if (host.trace_ != nullptr) {
+                            host.trace_->event(kDcBase + host.config_.id, host.sim_.now(),
+                                               trace::Phase::kDcSync, train,
+                                               envelope->body.size());
+                        }
+                        core->on_message(*m);
+                    } else {
+                        core->on_message(*m);
+                    }
+                }
             }
             return meter.take();
         });

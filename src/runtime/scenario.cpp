@@ -1,6 +1,7 @@
 #include "runtime/scenario.hpp"
 
 #include "common/log.hpp"
+#include "prof/prof.hpp"
 
 namespace zc::runtime {
 
@@ -34,6 +35,7 @@ public:
     void deliver(net::EndpointId from, Bytes message) override {
         (void)from;
         executor_.submit([this, msg = std::move(message)] {
+            ZC_PROF_SCOPE(kDcIngest);
             crypto_.charge(scenario_.dc_costs_.handle(msg.size()));
             const auto envelope = decode_envelope(msg);
             if (envelope && envelope->channel == Channel::kExport) {
@@ -81,6 +83,11 @@ Scenario::Scenario(ScenarioConfig config)
 Scenario::~Scenario() = default;
 
 void Scenario::build() {
+    // Host-cost accounting: the process-wide profiler (if any) drives the
+    // dispatch/event-loop attribution for this scenario's simulation.
+    ZC_PROF_SCOPE(kSetup);
+    sim_.set_profiler(prof::Profiler::active());
+
     // Network topology: full mesh of train Ethernet between nodes; LTE
     // between train and data centers; fast interconnect between DCs.
     // (Profile setup consumes no randomness, so it can precede the shard.)
@@ -226,6 +233,7 @@ void Scenario::sample_memory() {
 
 void Scenario::run_audit() {
     if (config_.auditor == nullptr) return;
+    ZC_PROF_SCOPE(kAudit);
     std::vector<faults::ReplicaView> replicas = shard_->replica_views();
     std::vector<faults::DataCenterView> dcs;
     dcs.reserve(dcs_.size());

@@ -4,6 +4,7 @@
 #include "crypto/sha256.hpp"
 #include "export/data_center.hpp"
 #include "export/messages.hpp"
+#include "prof/prof.hpp"
 #include "runtime/scenario.hpp"
 
 namespace zc::runtime {
@@ -26,6 +27,7 @@ TrainShard::TrainShard(const ScenarioConfig& config, ShardEnv env)
 TrainShard::~TrainShard() = default;
 
 void TrainShard::build() {
+    ZC_PROF_SCOPE(kSetup);
     sim::Simulation& sim = *env_.sim;
     const ScenarioConfig& cfg = *config_;
 

@@ -32,13 +32,25 @@ bool Simulation::step() {
         // cancel other events (including rescheduling its own id).
         auto fn = std::move(it->second);
         handlers_.erase(it);
-        fn();
+        if (prof_ != nullptr) {
+            prof::Scope dispatch(prof::Subsystem::kDispatch);
+            fn();
+        } else {
+            fn();
+        }
         return true;
     }
     return false;
 }
 
 void Simulation::run_until(TimePoint t) {
+    // Sim-progress accounting brackets the whole loop: virtual time
+    // advanced over host time spent, the sim_rate numerator/denominator.
+    prof::Profiler* const prof = prof_;
+    const std::uint64_t wall0 = prof != nullptr ? prof->clock_now() : 0;
+    const TimePoint virt0 = now_;
+    if (prof != nullptr) prof->begin(prof::Subsystem::kEventLoop);
+
     while (!queue_.empty()) {
         const QueueEntry& entry = queue_.top();
         if (!handlers_.contains(entry.id)) {
@@ -49,10 +61,25 @@ void Simulation::run_until(TimePoint t) {
         step();
     }
     if (now_ < t) now_ = t;
+
+    if (prof != nullptr) {
+        prof->end();
+        prof->add_sim_progress((now_ - virt0).count(), prof->clock_now() - wall0);
+    }
 }
 
 void Simulation::run() {
+    prof::Profiler* const prof = prof_;
+    const std::uint64_t wall0 = prof != nullptr ? prof->clock_now() : 0;
+    const TimePoint virt0 = now_;
+    if (prof != nullptr) prof->begin(prof::Subsystem::kEventLoop);
+
     while (step()) {
+    }
+
+    if (prof != nullptr) {
+        prof->end();
+        prof->add_sim_progress((now_ - virt0).count(), prof->clock_now() - wall0);
     }
 }
 

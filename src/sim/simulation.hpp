@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "prof/prof.hpp"
 
 namespace zc::sim {
 
@@ -68,6 +69,14 @@ public:
     /// Root randomness for this simulation; components fork sub-streams.
     Rng& rng() noexcept { return rng_; }
 
+    /// Attaches a host-cost profiler: handler dispatch is attributed per
+    /// event and the run loops feed sim-progress (sim_rate) accounting.
+    /// Null (the default) keeps the loop unprofiled — a single branch per
+    /// event. The profiler only reads the host clock, so attaching one
+    /// never perturbs virtual time.
+    void set_profiler(prof::Profiler* prof) noexcept { prof_ = prof; }
+    prof::Profiler* profiler() const noexcept { return prof_; }
+
 private:
     struct QueueEntry {
         TimePoint at;
@@ -84,6 +93,7 @@ private:
     std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
     std::unordered_map<EventId, std::function<void()>> handlers_;
     Rng rng_;
+    prof::Profiler* prof_ = nullptr;
 };
 
 }  // namespace zc::sim

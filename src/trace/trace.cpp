@@ -49,6 +49,8 @@ constexpr PhaseInfo kPhaseInfo[kPhaseCount] = {
     {"batch_proposed", "pbft", 2},
     {"state_transfer_rejected", "runtime", 5},
     {"audit_violation", "runtime", 5},
+    {"dc_ingest_queue", "export", 4},
+    {"dc_sync", "export", 4},
 };
 
 constexpr TimePoint kUnset{-1};

@@ -84,9 +84,14 @@ enum class Phase : std::uint8_t {
     // faults / safety (arg = peer id / violation kind)
     kStateTransferRejected,
     kAuditViolation,
+    // fleet data-center plane (emitted only by FleetDataCenter):
+    // time an export message waited in the shared ingest executor queue
+    // (arg = message bytes) and DC-to-DC sync traffic (arg = body bytes)
+    kDcIngestQueue,
+    kDcSync,
 };
 
-inline constexpr unsigned kPhaseCount = static_cast<unsigned>(Phase::kAuditViolation) + 1;
+inline constexpr unsigned kPhaseCount = static_cast<unsigned>(Phase::kDcSync) + 1;
 
 const char* phase_name(Phase p) noexcept;
 
@@ -145,6 +150,30 @@ public:
 
 private:
     std::vector<TraceSink*> sinks_;
+};
+
+/// Remaps node ids into a disjoint pid range before forwarding, so several
+/// shards sharing one Tracer land in distinct process rows of the merged
+/// fleet trace (train t node i -> 1000*(t+1)+i; shared DCs keep 100+d).
+/// kNoNode (fleet-wide events such as LTE flaps) passes through unchanged.
+class OffsetSink final : public TraceSink {
+public:
+    OffsetSink(TraceSink& inner, NodeId base) noexcept : inner_(inner), base_(base) {}
+
+    void event(NodeId node, TimePoint at, Phase phase, TraceId trace,
+               std::uint64_t arg) override {
+        inner_.event(map(node), at, phase, trace, arg);
+    }
+    void span(NodeId node, TimePoint start, Duration dur, Phase phase, TraceId trace,
+              std::uint64_t arg) override {
+        inner_.span(map(node), start, dur, phase, trace, arg);
+    }
+
+private:
+    NodeId map(NodeId node) const noexcept { return node == kNoNode ? node : base_ + node; }
+
+    TraceSink& inner_;
+    NodeId base_;
 };
 
 /// Recording sink: optional full event capture (Chrome JSON export) plus

@@ -30,6 +30,45 @@ TEST(FleetRollup, CsvHasFixedColumnsAndOneRowPerSample) {
     EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
 }
 
+TEST(FleetRollup, CsvGolden) {
+    // Exact bytes: the rollup file is part of the fleet determinism gate
+    // (CI cmp's it across same-seed runs), so the renderer itself is
+    // pinned here — a format change must show up as a test diff first.
+    FleetRollup rollup;
+    FleetSample s = sample_at(1.5);
+    s.active_alarms = 2;
+    s.ingest_depth = 7;
+    s.ingest_dropped = 1;
+    rollup.add(s);
+    EXPECT_EQ(rollup.csv(),
+              "t_s,trains,nodes_alive,head_sum,logged_sum,exported_sum,backlog_sum,"
+              "active_alarms,ingest_depth,ingest_dropped\n"
+              "1.500,4,16,100,1000,80,20,2,7,1\n");
+}
+
+TEST(FleetRollup, JsonGolden) {
+    FleetRollup rollup;
+    rollup.add(sample_at(0.25));
+    FleetSample s = sample_at(0.5);
+    s.ingest_dropped = 3;
+    rollup.add(s);
+    EXPECT_EQ(rollup.json(),
+              "[{\"t_s\":0.250,\"trains\":4,\"nodes_alive\":16,\"head_sum\":100,"
+              "\"logged_sum\":1000,\"exported_sum\":80,\"backlog_sum\":20,"
+              "\"active_alarms\":0,\"ingest_depth\":0,\"ingest_dropped\":0},"
+              "{\"t_s\":0.500,\"trains\":4,\"nodes_alive\":16,\"head_sum\":100,"
+              "\"logged_sum\":1000,\"exported_sum\":80,\"backlog_sum\":20,"
+              "\"active_alarms\":0,\"ingest_depth\":0,\"ingest_dropped\":3}]");
+}
+
+TEST(FleetRollup, EmptyRendersHeaderAndEmptyArray) {
+    FleetRollup rollup;
+    EXPECT_EQ(rollup.csv(),
+              "t_s,trains,nodes_alive,head_sum,logged_sum,exported_sum,backlog_sum,"
+              "active_alarms,ingest_depth,ingest_dropped\n");
+    EXPECT_EQ(rollup.json(), "[]");
+}
+
 TEST(FleetRollup, RendersDeterministically) {
     FleetRollup a, b;
     for (int i = 0; i < 5; ++i) {

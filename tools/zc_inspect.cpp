@@ -25,6 +25,10 @@
 //   zc_inspect --store-dir DIR --repair truncate torn tails in every
 //                                       store that has one
 //
+// --json switches the summary, --verify, --health and --store-dir walks
+// to a machine-readable single-line JSON report on stdout (exit codes
+// unchanged); it does not combine with --dump/--events/--repair.
+//
 // Exit codes: 0 ok, 1 integrity/recovery findings, 2 usage,
 // 3 unrepairable store (no valid prefix behind the corruption).
 #include <algorithm>
@@ -120,21 +124,40 @@ void list_events(const chain::BlockStore& store) {
     }
 }
 
-/// Offline health read-out: everything a stored chain alone can reveal
-/// about how recording went, reported with the same alarm vocabulary the
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/// What a stored chain alone reveals about how recording went, computed
+/// once and rendered as either the human table or the --json report.
+struct HealthReadout {
+    std::size_t trimmed_bodies = 0;
+    double median_cadence_s = 0;
+    double max_gap_s = 0;
+    std::vector<health::Alarm> alarms;
+};
+
+/// Offline health read-out, reported with the same alarm vocabulary the
 /// online watchdogs use (so an investigator sees "stalled_view" both in a
 /// live health dump and on the salvaged flash).
-void health_summary(const chain::BlockStore& store) {
+HealthReadout compute_health(const chain::BlockStore& store) {
     const Height base = store.base_height();
     const Height head = store.head_height();
-    std::vector<health::Alarm> alarms;
+    HealthReadout readout;
+    std::vector<health::Alarm>& alarms = readout.alarms;
 
     // Block headers are timestamped with the consensus sequence number
     // (deterministic across replicas); wall-clock style times live inside
     // the logged JRU records. Recording cadence therefore comes from the
     // newest record timestamp of each block body.
     std::size_t missing_headers = 0;
-    std::size_t trimmed_bodies = 0;
+    std::size_t& trimmed_bodies = readout.trimmed_bodies;
     std::vector<std::pair<Height, double>> block_times;  // height -> latest record t (s)
     for (Height h = base; h <= head; ++h) {
         const chain::BlockHeader* hdr = store.header(h);
@@ -179,12 +202,8 @@ void health_summary(const chain::BlockStore& store) {
         }
     }
 
-    std::printf("\n-- health --\n");
-    std::printf("blocks retained         : %llu..%llu (%zu headers, %zu bodies trimmed)\n",
-                static_cast<unsigned long long>(base), static_cast<unsigned long long>(head),
-                store.size(), trimmed_bodies);
-    std::printf("block cadence           : median %.3f s, max gap %.3f s\n", median_s,
-                max_gap_s);
+    readout.median_cadence_s = median_s;
+    readout.max_gap_s = max_gap_s;
 
     // A recording stall shows up on the flash as a timestamp gap between
     // consecutive blocks far beyond the steady cadence (timeouts + view
@@ -201,6 +220,19 @@ void health_summary(const chain::BlockStore& store) {
         alarms.push_back(std::move(a));
     }
 
+    return readout;
+}
+
+void print_health(const chain::BlockStore& store, const HealthReadout& readout) {
+    const Height base = store.base_height();
+    const Height head = store.head_height();
+    std::printf("\n-- health --\n");
+    std::printf("blocks retained         : %llu..%llu (%zu headers, %zu bodies trimmed)\n",
+                static_cast<unsigned long long>(base), static_cast<unsigned long long>(head),
+                store.size(), readout.trimmed_bodies);
+    std::printf("block cadence           : median %.3f s, max gap %.3f s\n",
+                readout.median_cadence_s, readout.max_gap_s);
+
     if (store.anchor()) {
         std::printf("export coverage         : pruned below block %llu (delete evidence "
                     "anchored), %llu blocks unexported\n",
@@ -212,17 +244,35 @@ void health_summary(const chain::BlockStore& store) {
                     static_cast<unsigned long long>(head - base));
     }
 
-    std::printf("alarms                  : %zu\n", alarms.size());
-    for (const auto& alarm : alarms) {
+    std::printf("alarms                  : %zu\n", readout.alarms.size());
+    for (const auto& alarm : readout.alarms) {
         std::printf("  %s: %s\n", health::alarm_kind_name(alarm.kind), alarm.detail.c_str());
     }
+}
+
+std::string health_json(const HealthReadout& readout) {
+    std::string out;
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "{\"trimmed_bodies\":%zu,\"median_cadence_s\":%.3f,\"max_gap_s\":%.3f,"
+                  "\"alarms\":[",
+                  readout.trimmed_bodies, readout.median_cadence_s, readout.max_gap_s);
+    out += buf;
+    for (std::size_t i = 0; i < readout.alarms.size(); ++i) {
+        if (i > 0) out += ',';
+        out += "{\"kind\":\"";
+        out += health::alarm_kind_name(readout.alarms[i].kind);
+        out += "\",\"detail\":\"" + json_escape(readout.alarms[i].detail) + "\"}";
+    }
+    out += "]}";
+    return out;
 }
 
 /// Fleet store root: DIR/train-<t>/node-<i> per shard replica (a root
 /// holding bare node-<i> directories is treated as one unnamed train).
 /// Verifies (and with `repair`, truncates) every store and prints one row
 /// per replica plus a per-train verdict.
-int inspect_fleet_root(const std::string& root, bool verify, bool repair) {
+int inspect_fleet_root(const std::string& root, bool verify, bool repair, bool json) {
     namespace fs = std::filesystem;
     // train label -> sorted node store directories
     std::map<std::string, std::vector<fs::path>> trains;
@@ -253,15 +303,23 @@ int inspect_fleet_root(const std::string& root, bool verify, bool repair) {
     }
     for (auto& [train, nodes] : trains) std::sort(nodes.begin(), nodes.end());
 
-    std::printf("fleet store root: %s (%zu trains)\n\n", root.c_str(), trains.size());
-    std::printf("%-10s %-8s %12s %10s %10s  %s\n", "train", "node", "blocks", "retained",
-                "discarded", "integrity");
+    if (!json) {
+        std::printf("fleet store root: %s (%zu trains)\n\n", root.c_str(), trains.size());
+        std::printf("%-10s %-8s %12s %10s %10s  %s\n", "train", "node", "blocks", "retained",
+                    "discarded", "integrity");
+    }
 
     int rc = 0;
     std::size_t stores = 0, clean_stores = 0;
+    std::string jout = "{\"root\":\"" + json_escape(root) + "\",\"trains\":[";
+    bool first_train = true;
     for (const auto& [train, nodes] : trains) {
         const std::string train_label = train.empty() ? "(root)" : train;
+        if (!first_train) jout += ',';
+        first_train = false;
+        jout += "{\"train\":\"" + json_escape(train_label) + "\",\"nodes\":[";
         bool train_clean = true;
+        bool first_node = true;
         for (const fs::path& dir : nodes) {
             ++stores;
             chain::RecoveryReport report;
@@ -273,13 +331,30 @@ int inspect_fleet_root(const std::string& root, bool verify, bool repair) {
             std::snprintf(range, sizeof range, "%llu..%llu",
                           static_cast<unsigned long long>(store.base_height()),
                           static_cast<unsigned long long>(store.head_height()));
-            std::printf("%-10s %-8s %12s %10zu %10llu  %s%s\n", train_label.c_str(),
-                        dir.filename().string().c_str(), range, store.size(),
-                        static_cast<unsigned long long>(report.blocks_discarded),
-                        valid ? (report.clean() ? "VERIFIED" : "RECOVERED") : "BROKEN",
-                        report.unrepairable ? " (UNREPAIRABLE)" : "");
-            for (const auto& note : report.notes) {
-                std::printf("%-10s %-8s   note: %s\n", "", "", note.c_str());
+            if (json) {
+                char row[256];
+                std::snprintf(row, sizeof row,
+                              "%s{\"node\":\"%s\",\"base\":%llu,\"head\":%llu,"
+                              "\"retained\":%zu,\"discarded\":%llu,\"valid\":%s,"
+                              "\"clean\":%s,\"unrepairable\":%s}",
+                              first_node ? "" : ",", dir.filename().string().c_str(),
+                              static_cast<unsigned long long>(store.base_height()),
+                              static_cast<unsigned long long>(store.head_height()),
+                              store.size(),
+                              static_cast<unsigned long long>(report.blocks_discarded),
+                              valid ? "true" : "false", report.clean() ? "true" : "false",
+                              report.unrepairable ? "true" : "false");
+                jout += row;
+                first_node = false;
+            } else {
+                std::printf("%-10s %-8s %12s %10zu %10llu  %s%s\n", train_label.c_str(),
+                            dir.filename().string().c_str(), range, store.size(),
+                            static_cast<unsigned long long>(report.blocks_discarded),
+                            valid ? (report.clean() ? "VERIFIED" : "RECOVERED") : "BROKEN",
+                            report.unrepairable ? " (UNREPAIRABLE)" : "");
+                for (const auto& note : report.notes) {
+                    std::printf("%-10s %-8s   note: %s\n", "", "", note.c_str());
+                }
             }
 
             if (report.unrepairable) {
@@ -305,11 +380,22 @@ int inspect_fleet_root(const std::string& root, bool verify, bool repair) {
                 ++clean_stores;
             }
         }
-        std::printf("%-10s %-8s %12s %10s %10s  %s\n", train_label.c_str(), "--", "", "", "",
-                    train_clean ? "shard ok" : "shard has findings");
+        jout += std::string("],\"clean\":") + (train_clean ? "true" : "false") + "}";
+        if (!json) {
+            std::printf("%-10s %-8s %12s %10s %10s  %s\n", train_label.c_str(), "--", "", "",
+                        "", train_clean ? "shard ok" : "shard has findings");
+        }
     }
-    std::printf("\n%zu/%zu stores clean\n", clean_stores, stores);
     if (verify && clean_stores != stores && rc == 0) rc = 1;
+    if (json) {
+        char tail[96];
+        std::snprintf(tail, sizeof tail, "],\"stores\":%zu,\"clean_stores\":%zu,\"exit\":%d}",
+                      stores, clean_stores, rc);
+        jout += tail;
+        std::printf("%s\n", jout.c_str());
+    } else {
+        std::printf("\n%zu/%zu stores clean\n", clean_stores, stores);
+    }
     return rc;
 }
 
@@ -323,40 +409,111 @@ void print_recovery(const chain::RecoveryReport& report) {
 
 }  // namespace
 
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s <store-dir> [--dump HEIGHT | --events | --health | --verify |"
+                 " --repair] [--json]\n"
+                 "       %s --store-dir <fleet-root> [--verify | --repair] [--json]\n",
+                 argv0, argv0);
+    return 2;
+}
+
 int main(int argc, char** argv) {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: %s <store-dir> [--dump HEIGHT | --events | --health | --verify |"
-                     " --repair]\n"
-                     "       %s --store-dir <fleet-root> [--verify | --repair]\n",
-                     argv[0], argv[0]);
-        return 2;
-    }
-
-    if (std::strcmp(argv[1], "--store-dir") == 0) {
-        if (argc < 3) {
-            std::fprintf(stderr, "usage: %s --store-dir <fleet-root> [--verify | --repair]\n",
-                         argv[0]);
-            return 2;
+    std::string dir, fleet_root, cmd;
+    Height dump_height = 0;
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--store-dir") {
+            if (i + 1 >= argc) return usage(argv[0]);
+            fleet_root = argv[++i];
+        } else if (arg == "--dump") {
+            if (i + 1 >= argc) return usage(argv[0]);
+            cmd = arg;
+            dump_height = static_cast<Height>(std::stoull(argv[++i]));
+        } else if (arg == "--events" || arg == "--health" || arg == "--verify" ||
+                   arg == "--repair") {
+            cmd = arg;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "%s: unknown flag: %s\n", argv[0], arg.c_str());
+            return usage(argv[0]);
+        } else if (dir.empty()) {
+            dir = arg;
+        } else {
+            std::fprintf(stderr, "%s: unexpected argument: %s\n", argv[0], arg.c_str());
+            return usage(argv[0]);
         }
-        const std::string sub = argc >= 4 ? argv[3] : "";
-        return inspect_fleet_root(argv[2], sub == "--verify", sub == "--repair");
+    }
+    if (dir.empty() && fleet_root.empty()) return usage(argv[0]);
+    if (!dir.empty() && !fleet_root.empty()) return usage(argv[0]);
+    // --json reports on store state; the record dumps and the mutating
+    // repair keep their line-oriented output.
+    if (json && (cmd == "--dump" || cmd == "--events" || cmd == "--repair")) {
+        std::fprintf(stderr, "%s: --json does not combine with %s\n", argv[0], cmd.c_str());
+        return usage(argv[0]);
     }
 
-    const std::string dir = argv[1];
-    const std::string cmd = argc >= 3 ? argv[2] : "";
+    if (!fleet_root.empty()) {
+        if (cmd != "" && cmd != "--verify" && cmd != "--repair") {
+            std::fprintf(stderr, "%s: %s needs a single <store-dir>\n", argv[0], cmd.c_str());
+            return usage(argv[0]);
+        }
+        return inspect_fleet_root(fleet_root, cmd == "--verify", cmd == "--repair", json);
+    }
+
     const bool verify = cmd == "--verify";
     const bool repair = cmd == "--repair";
 
     chain::RecoveryReport report;
     chain::BlockStore store = chain::BlockStore::load(dir, nullptr, &report);
+    const bool valid = store.validate(store.base_height(), store.head_height());
+
+    if (json) {
+        // One line, one object: the summary an automated salvage pipeline
+        // consumes. `exit` mirrors the process exit code.
+        const int rc = report.unrepairable ? 3 : ((report.clean() && valid) ? 0 : 1);
+        std::string out;
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "{\"store\":\"%s\",\"base\":%llu,\"head\":%llu,\"retained\":%zu,"
+                      "\"stored_bytes\":%llu,\"valid\":%s,\"clean\":%s,"
+                      "\"unrepairable\":%s,\"blocks_loaded\":%llu,\"blocks_discarded\":%llu,"
+                      "\"head_hash\":\"%s\"",
+                      json_escape(dir).c_str(),
+                      static_cast<unsigned long long>(store.base_height()),
+                      static_cast<unsigned long long>(store.head_height()), store.size(),
+                      static_cast<unsigned long long>(store.stored_bytes()),
+                      valid ? "true" : "false", report.clean() ? "true" : "false",
+                      report.unrepairable ? "true" : "false",
+                      static_cast<unsigned long long>(report.blocks_loaded),
+                      static_cast<unsigned long long>(report.blocks_discarded),
+                      to_hex(crypto::view(store.head_hash())).c_str());
+        out += buf;
+        if (store.anchor()) {
+            const auto deletes = exporter::decode_delete_evidence(store.anchor()->evidence);
+            std::snprintf(buf, sizeof buf,
+                          ",\"anchor\":{\"base_height\":%llu,\"delete_signatures\":%zu}",
+                          static_cast<unsigned long long>(store.anchor()->base_height),
+                          deletes ? deletes->size() : 0);
+            out += buf;
+        } else {
+            out += ",\"anchor\":null";
+        }
+        if (cmd == "--health") out += ",\"health\":" + health_json(compute_health(store));
+        std::snprintf(buf, sizeof buf, ",\"exit\":%d}", rc);
+        out += buf;
+        std::printf("%s\n", out.c_str());
+        return rc;
+    }
+
     std::printf("store: %s\n", dir.c_str());
     std::printf("blocks %llu..%llu (%zu retained, %zu KiB)\n",
                 static_cast<unsigned long long>(store.base_height()),
                 static_cast<unsigned long long>(store.head_height()), store.size(),
                 store.stored_bytes() / 1024);
 
-    const bool valid = store.validate(store.base_height(), store.head_height());
     std::printf("integrity: %s\n", valid ? "VERIFIED" : "BROKEN (tampering or corruption)");
     std::printf("head hash: %s\n", to_hex(crypto::view(store.head_hash())).c_str());
     if (!report.clean()) print_recovery(report);
@@ -397,12 +554,12 @@ int main(int argc, char** argv) {
         return (report.clean() && valid) ? 0 : 1;
     }
 
-    if (argc >= 4 && std::strcmp(argv[2], "--dump") == 0) {
-        dump_block(store, static_cast<Height>(std::stoull(argv[3])));
-    } else if (argc >= 3 && std::strcmp(argv[2], "--events") == 0) {
+    if (cmd == "--dump") {
+        dump_block(store, dump_height);
+    } else if (cmd == "--events") {
         list_events(store);
-    } else if (argc >= 3 && std::strcmp(argv[2], "--health") == 0) {
-        health_summary(store);
+    } else if (cmd == "--health") {
+        print_health(store, compute_health(store));
     }
     return valid ? 0 : 1;
 }

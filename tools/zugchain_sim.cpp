@@ -9,18 +9,25 @@
 //                [--flap T:DUR:lte|nodeID] [--fabricator NODE]
 //                [--adversary PROFILE:NODE] [--audit]
 //                [--store-dir DIR] [--crypto fast|ed25519]
-//                [--trace FILE] [--metrics FILE] [--json]
+//                [--trace FILE] [--metrics FILE] [--json] [--prof]
 //                [--health FILE] [--timeseries FILE] [--fail-on-alarm]
 //
 // Fleet mode (--fleet N): run N independent train shards on one virtual
 // clock, exporting into shared data centers (src/fleet). Reuses --seed,
 // --cycle-ms, --payload, --block-size, --batch-size, --duration-s,
-// --crypto, --store-dir (per-train subdirectories), --audit,
-// --fail-on-alarm and --json, plus:
+// --crypto, --store-dir (per-train subdirectories), --audit, --prof,
+// --fail-on-alarm, --json and --trace (one merged Perfetto/Chrome trace:
+// train t node i in pid band 1000*(t+1)+i, shared DCs at pid 100+d,
+// including DC ingest-queue and DC-to-DC sync spans), plus:
 //
 //   zugchain_sim --fleet N [--fleet-dcs N] [--fleet-chaos]
 //                [--export-period-s S] [--trains-per-cell N]
 //                [--rollup FILE.csv|FILE.json]
+//
+// --prof attributes *host* wall-clock cost (crypto, codec, store, event
+// loop, DC ingest...) and reports the sim_rate (simulated seconds per
+// wall second). Virtual-side output is byte-identical with or without
+// it; host timings land in a trailing table (or a "host" JSON key).
 //
 // Examples:
 //   zugchain_sim --duration-s 60
@@ -54,6 +61,7 @@
 #include "health/flight_recorder.hpp"
 #include "health/monitor.hpp"
 #include "health/timeseries.hpp"
+#include "prof/prof.hpp"
 #include "runtime/scenario.hpp"
 #include "trace/trace.hpp"
 
@@ -73,6 +81,7 @@ struct Args {
     bool fail_on_alarm = false;
     bool json = false;
     bool audit = false;
+    bool prof = false;
 
     // Fleet mode (--fleet N > 0 switches from the single-consist scenario
     // to the src/fleet orchestrator).
@@ -93,7 +102,7 @@ struct Args {
                      "          [--crash T:NODE[:RESTART_AFTER]] [--flap T:DUR:lte|nodeID]\n"
                      "          [--fabricator NODE] [--adversary PROFILE:NODE] [--audit]\n"
                      "          [--store-dir DIR] [--crypto fast|ed25519]\n"
-                     "          [--trace FILE] [--metrics FILE] [--json]\n"
+                     "          [--trace FILE] [--metrics FILE] [--json] [--prof]\n"
                      "          [--health FILE] [--timeseries FILE] [--fail-on-alarm]\n"
                      "          [--fleet N] [--fleet-dcs N] [--fleet-chaos]\n"
                      "          [--export-period-s S] [--trains-per-cell N]\n"
@@ -248,6 +257,8 @@ struct Args {
                 args.fail_on_alarm = true;
             } else if (flag == "--json") {
                 args.json = true;
+            } else if (flag == "--prof") {
+                args.prof = true;
             } else {
                 std::fprintf(stderr, "%s: unknown flag: %s\n", argv[0], flag.c_str());
                 usage(argv[0]);
@@ -297,9 +308,32 @@ int run_fleet(const Args& args) {
         cfg.byzantine[0][node] = byz;  // adversaries land on train 0
     }
 
+    // One merged fleet trace: every shard is offset into its own pid band
+    // and the shared DCs keep their 100+d pids, so a single Tracer file
+    // shows the whole fleet (trains, DC ingest queueing, DC-to-DC sync).
+    trace::Tracer tracer(/*capture_events=*/true);
+    if (!args.trace_file.empty()) {
+        for (std::uint32_t t = 0; t < cfg.trains; ++t) {
+            for (std::uint32_t i = 0; i < cfg.train.n; ++i) {
+                tracer.set_process_label(fleet::trace_pid(t, i), "train-" + std::to_string(t) +
+                                                                     "-node-" +
+                                                                     std::to_string(i));
+            }
+        }
+        for (std::uint32_t d = 0; d < cfg.dc_count; ++d) {
+            tracer.set_process_label(fleet::dc_trace_pid(d), "dc-" + std::to_string(d));
+        }
+        cfg.trace_sink = &tracer;
+    }
+
     fleet::Fleet fleet(cfg);
     fleet.run();
+    const prof::Profiler* profiler = prof::Profiler::active();
     const fleet::FleetReport report = fleet.report();
+
+    if (!args.trace_file.empty()) {
+        write_text_file(args.trace_file, tracer.chrome_json());
+    }
 
     if (!args.rollup_file.empty()) {
         const bool as_json = args.rollup_file.size() >= 5 &&
@@ -314,7 +348,14 @@ int run_fleet(const Args& args) {
     if (args.audit && report.audit_violations > 0) rc = 4;
 
     if (args.json) {
-        std::printf("%s\n", report.json().c_str());
+        // The host block is the last key so the virtual-content prefix of
+        // the line stays byte-identical across same-seed --prof runs.
+        std::string out = report.json();
+        if (profiler != nullptr) {
+            out.pop_back();  // '}'
+            out += ",\"host\":" + profiler->snapshot().json() + "}";
+        }
+        std::printf("%s\n", out.c_str());
         return rc;
     }
 
@@ -360,12 +401,14 @@ int run_fleet(const Args& args) {
                     static_cast<unsigned long long>(t.exports_failed),
                     static_cast<unsigned long long>(t.active_alarms));
     }
+
+    if (profiler != nullptr) profiler->snapshot().print_table(stdout);
     return rc;
 }
 
 void print_json_report(const Args& args, const runtime::ScenarioReport& r, bool consistent,
                        const faults::SafetyAuditor* auditor, std::uint64_t attack_attempts,
-                       std::uint64_t st_rejected) {
+                       std::uint64_t st_rejected, const prof::Profiler* profiler) {
     std::printf("{");
     std::printf("\"mode\":\"%s\",\"n\":%u,\"f\":%u,\"seed\":%llu,"
                 "\"cycle_ms\":%lld,\"payload\":%zu,\"block_size\":%llu,\"duration_s\":%.0f,",
@@ -406,6 +449,11 @@ void print_json_report(const Args& args, const runtime::ScenarioReport& r, bool 
     } else {
         std::printf(",\"audit\":null");
     }
+    // Last key on purpose: the virtual-content prefix of the line stays
+    // byte-identical across same-seed --prof runs.
+    if (profiler != nullptr) {
+        std::printf(",\"host\":%s", profiler->snapshot().json().c_str());
+    }
     std::printf("}\n");
 }
 
@@ -413,6 +461,11 @@ void print_json_report(const Args& args, const runtime::ScenarioReport& r, bool 
 
 int main(int argc, char** argv) {
     Args args = Args::parse(argc, argv);
+
+    // Host-cost profiler: must be active before the scenario/fleet is
+    // built so construction (kSetup) and the sim run loops are attributed.
+    prof::Profiler profiler;
+    if (args.prof) prof::Profiler::set_active(&profiler);
 
     if (args.fleet > 0) return run_fleet(args);
 
@@ -560,7 +613,8 @@ int main(int argc, char** argv) {
 
     if (args.json) {
         print_json_report(args, r, consistent, args.audit ? &auditor : nullptr, attack_attempts,
-                          scenario.state_transfer_rejected());
+                          scenario.state_transfer_rejected(),
+                          args.prof ? &profiler : nullptr);
         return rc;
     }
 
@@ -671,6 +725,8 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(v.height), v.detail.c_str());
         }
     }
+
+    if (args.prof) profiler.snapshot().print_table(stdout);
 
     std::printf("\nchains consistent across live nodes: %s\n", consistent ? "yes" : "NO");
     return rc;
